@@ -1,0 +1,36 @@
+"""Shared state for the figure/table reproduction benchmarks.
+
+Every benchmark prints the rows/series the paper reports (shape
+reproduction — see EXPERIMENTS.md) and times its computational kernel
+with pytest-benchmark.  Corpora shared between benchmarks (the router
+logfiles used by Fig 10 and the Sec 3.3 table) are built once per
+session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import RouterLogCorpus
+
+#: Paper corpus sizes: 1200 training logfiles from artificial layouts,
+#: 3742 testing logfiles from embedded-CPU floorplans, 1400 for the card.
+TRAIN_LOGS = 1200
+TEST_LOGS = 3742
+
+
+@pytest.fixture(scope="session")
+def train_corpus():
+    return RouterLogCorpus.artificial(n=TRAIN_LOGS, seed=2018)
+
+
+@pytest.fixture(scope="session")
+def test_corpus():
+    return RouterLogCorpus.cpu_floorplans(n=TEST_LOGS, seed=2019)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

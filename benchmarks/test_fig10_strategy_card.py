@@ -1,0 +1,53 @@
+"""Figure 10: the MDP-derived GO/STOP strategy card.
+
+Paper setup: the card is "automatically derived from 1400 logfiles of
+an industry tool"; axes are binned violations at time t (x) and change
+in DRVs since the previous iteration (y).  Shape: STOP (purple) fills
+the right half (very large DRVs); GO (yellow) fills low-DRV states; GO
+also covers moderately-large DRVs with negative slope.
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.bench import RouterLogCorpus
+from repro.core.doomed import GO, STOP, MDPCardLearner
+
+N_CARD_LOGS = 1400
+
+
+def test_fig10_strategy_card(benchmark, train_corpus, test_corpus):
+    # the paper's card uses 1400 logfiles; mix both domains like a tool
+    # vendor would
+    logs = list(train_corpus.logs[:700]) + list(test_corpus.logs[:700])
+    assert len(logs) == N_CARD_LOGS
+
+    learner = MDPCardLearner()
+    card = benchmark.pedantic(learner.fit, args=(logs,), rounds=1, iterations=1)
+
+    grid = card.as_grid()
+    space = card.space
+    print_header("Figure 10: MDP strategy card (G=GO, S=STOP; x=DRV bin, y=slope bin)")
+    header = "slope\\drv " + " ".join(f"{vb:>2}" for vb in range(space.n_violation_bins))
+    print(header)
+    for sb in range(space.max_up, -space.max_down - 1, -1):
+        row = [f"{sb:>9}"]
+        for vb in range(space.n_violation_bins):
+            action = grid[vb, sb + space.max_down]
+            row.append(" G" if action == GO else " S")
+        print(" ".join(row))
+    counts = card.counts()
+    print(f"\nstates: {counts['go']} GO, {counts['stop']} STOP "
+          f"({counts['visited']} visited in training)")
+
+    # paper shape assertions
+    right_half = grid[14:, :]  # very large violation bins
+    assert (right_half == STOP).mean() > 0.8, "right half of the card is STOP"
+    low_drv = grid[1:5, : space.max_down]  # small DRVs, falling
+    assert (low_drv == GO).mean() > 0.6, "low-DRV states are GO"
+    moderate_falling = grid[6:9, 2 : space.max_down - 2]
+    assert (moderate_falling == GO).mean() > 0.5, (
+        "moderately large DRVs with negative slope are GO"
+    )
+    rising_large = grid[10:14, space.max_down + 1 :]
+    assert (rising_large == STOP).mean() > 0.5, "large and rising means STOP"

@@ -1,0 +1,77 @@
+"""Figure 11 / Sec 4: the METRICS system, end to end.
+
+Paper validation: "Multiple runs were launched with different designs
+and different option settings ... mining and sensitivity analyses with
+respect to final design QOR enabled prediction of best design-specific
+tool option settings.  METRICS was also used to prescribe achievable
+clock frequency for given designs."  Plus the METRICS-2.0 upgrade: the
+miner's guidance is fed back and applied mid-campaign without a human.
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.bench import pulpino_profile
+from repro.eda.flow import FlowOptions
+from repro.metrics import (
+    AdaptiveFlowSession,
+    DataMiner,
+    InstrumentedFlow,
+    MetricsServer,
+)
+
+
+def test_fig11_metrics_system(benchmark):
+    spec = pulpino_profile(scale=0.5)
+    session = AdaptiveFlowSession(spec=spec, objective="flow.area", seed=13)
+
+    best = benchmark.pedantic(
+        session.run_campaign,
+        kwargs={"n_seed": 10, "n_adaptive": 5,
+                "base_options": FlowOptions(target_clock_ghz=0.7)},
+        rounds=1, iterations=1,
+    )
+
+    print_header("Figure 11 / Sec 4: METRICS collection, mining, feedback")
+    server = session.server
+    print(f"records collected: {len(server)} over {len(server.runs())} runs")
+
+    miner = DataMiner(server, seed=0)
+    sens = miner.sensitivity("flow.area", design=spec.name)
+    print("\noption sensitivity to final area (|corr|):")
+    for option, value in sens.items():
+        print(f"  {option:<24} {value:.2f}")
+
+    rec = miner.recommend_options("flow.area", design=spec.name)
+    print(f"\nrecommended settings (model R^2 {rec.model_r2:.2f}):")
+    for option, value in rec.options.items():
+        print(f"  {option:<24} {value:.3f}")
+    print(f"predicted area: {rec.predicted_objective:.1f} um^2")
+
+    stats_runs = server.query(design=spec.name, metric="synth.instances")
+    features = {
+        "synth.instances": stats_runs[0].value,
+        "synth.depth": server.query(design=spec.name, metric="synth.depth")[0].value,
+        "synth.area": server.query(design=spec.name, metric="synth.area")[0].value,
+    }
+    freq = miner.prescribe_frequency(features)
+    print(f"\nprescribed achievable frequency for this design: {freq:.3f} GHz")
+
+    seed_best = min(
+        (r.area for r in session.history[: session.n_seed_runs] if r.success),
+        default=float("inf"),
+    )
+    adaptive_best = min(
+        (r.area for r in session.history[session.n_seed_runs :] if r.success),
+        default=float("inf"),
+    )
+    print(f"\nbest successful area: seed phase {seed_best:.1f} -> "
+          f"adaptive phase {adaptive_best:.1f} "
+          f"(improvement ratio {session.improvement():.3f})")
+
+    # shape targets
+    assert len(server) > 300  # rich collection
+    assert sens  # sensitivity analysis produced a ranking
+    assert 0.2 < freq < 3.0  # a sane prescription
+    assert best.area > 0
+    assert session.improvement() <= 1.1  # feedback does not hurt, usually helps

@@ -1,0 +1,32 @@
+"""Figure 1: the Design Capability Gap (available vs realized density).
+
+Paper shape: both densities scale up 1995-2015, but realized density
+falls increasingly behind after ~2005 (non-ideal A-factor, growing
+uncore), opening a widening gap.
+"""
+
+from conftest import print_header
+
+from repro.core.costmodel import CapabilityGapModel
+
+
+def test_fig1_capability_gap(benchmark):
+    model = CapabilityGapModel()
+    years = list(range(1995, 2016))
+
+    series = benchmark(model.figure1_series, years)
+
+    print_header("Figure 1: Design Capability Gap (transistors / mm^2)")
+    print(f"{'year':>6} {'available':>14} {'realized':>14} {'gap':>6}")
+    for i, year in enumerate(series["year"]):
+        print(
+            f"{year:>6} {series['available'][i]:>14.3e} "
+            f"{series['realized'][i]:>14.3e} {series['gap'][i]:>6.2f}"
+        )
+
+    # shape assertions (the reproduction targets)
+    assert series["gap"][0] < 1.2  # essentially no gap in 1995
+    assert series["gap"][-1] > 1.5  # a pronounced gap by 2015
+    assert (series["available"] >= series["realized"]).all()
+    # both curves still scale up (the gap is a *relative* shortfall)
+    assert series["realized"][-1] > 10 * series["realized"][0]

@@ -1,0 +1,47 @@
+"""Figure 2: design cost and transistor count trends (+ footnote 1).
+
+Paper shape: transistor demand rises exponentially 1980-2015; with the
+DT-innovation timeline the SOC design cost stays within tens of $M,
+while the frozen-DT counterfactuals explode (the "badly diverged"
+cost trajectory).  The footnote-1 anchors pin the calibration:
+$45.4M (2013, with DT), ~$1B (2013, DT frozen at 2000),
+$3.4B (2028, frozen at 2013), ~$70B (2028, frozen at 2000).
+"""
+
+from conftest import print_header
+
+from repro.core.costmodel import DesignCostModel
+
+
+def test_fig2_design_cost(benchmark):
+    model = DesignCostModel()
+    years = list(range(1985, 2029, 2))
+
+    series = benchmark(model.figure2_series, years)
+
+    print_header("Figure 2: SOC-CP design cost and transistor trends")
+    print(f"{'year':>6} {'transistors':>13} {'design $M':>11} "
+          f"{'verif $M':>9} {'frozen2000 $M':>14} {'frozen2013 $M':>14}")
+    for i, year in enumerate(series["year"]):
+        print(
+            f"{year:>6} {series['transistors'][i]:>13.2e} "
+            f"{series['design_cost'][i] / 1e6:>11.1f} "
+            f"{series['verification_cost'][i] / 1e6:>9.1f} "
+            f"{series['cost_frozen_2000'][i] / 1e6:>14.1f} "
+            f"{series['cost_frozen_2013'][i] / 1e6:>14.1f}"
+        )
+
+    anchors = model.footnote1_anchors()
+    print("\nfootnote-1 anchors (paper -> measured):")
+    print(f"  2013 with DT:      $45.4M -> ${anchors['cost_2013_with_dt']/1e6:.1f}M")
+    print(f"  2013 frozen@2000:  ~$1B   -> ${anchors['cost_2013_frozen_2000']/1e9:.2f}B")
+    print(f"  2028 frozen@2013:  $3.4B  -> ${anchors['cost_2028_frozen_2013']/1e9:.2f}B")
+    print(f"  2028 frozen@2000:  ~$70B  -> ${anchors['cost_2028_frozen_2000']/1e9:.1f}B")
+
+    assert abs(anchors["cost_2013_with_dt"] - 45.4e6) / 45.4e6 < 0.25
+    assert abs(anchors["cost_2013_frozen_2000"] - 1.0e9) / 1.0e9 < 0.25
+    assert abs(anchors["cost_2028_frozen_2013"] - 3.4e9) / 3.4e9 < 0.25
+    assert abs(anchors["cost_2028_frozen_2000"] - 70e9) / 70e9 < 0.25
+    # with-DT cost stays within one order of magnitude over 40+ years
+    costs = series["design_cost"]
+    assert costs.max() / costs.min() < 20

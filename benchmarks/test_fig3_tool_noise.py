@@ -1,0 +1,60 @@
+"""Figure 3: SP&R implementation noise on the PULPino-class core.
+
+Paper shape (left panel): post-P&R area vs target frequency — area
+creeps up with target, and its run-to-run spread grows sharply near the
+maximum achievable frequency ("implementation noise increases with
+target design quality").  Right panel: per-target area samples are
+essentially Gaussian (refs [29][15]).
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.bench import pulpino_profile
+from repro.core.noise import NoiseCharacterization, noise_sweep
+from repro.eda.flow import FlowOptions
+
+TARGETS = [0.40, 0.50, 0.60, 0.70, 0.78, 0.84, 0.90]
+N_SEEDS = 18
+
+
+def test_fig3_tool_noise(benchmark):
+    spec = pulpino_profile()
+
+    sweep = benchmark.pedantic(
+        noise_sweep,
+        args=(spec, TARGETS),
+        kwargs={"n_seeds": N_SEEDS, "base_options": FlowOptions()},
+        rounds=1,
+        iterations=1,
+    )
+    noise = NoiseCharacterization(sweep)
+
+    print_header("Figure 3 (left): area vs target frequency, with noise")
+    print(f"{'target GHz':>11} {'area mean':>10} {'area std':>9} "
+          f"{'success':>8} {'gaussian?':>10}")
+    for target in sweep.targets:
+        fit = noise.gaussian_fit(target)
+        print(
+            f"{target:>11.2f} {sweep.areas(target).mean():>10.1f} "
+            f"{sweep.areas(target).std(ddof=1):>9.2f} "
+            f"{sweep.success_rate(target):>8.2f} "
+            f"{str(fit.looks_gaussian):>10}"
+        )
+    summary = noise.summary()
+    print(f"\nnoise growth ratio (aggressive/relaxed): "
+          f"{summary['noise_growth_ratio']:.2f}")
+    print(f"fraction of targets passing JB normality: "
+          f"{summary['gaussian_fraction']:.2f}")
+    print(f"aim-low target @95% confidence: "
+          f"{noise.aim_low_target(0.95):.2f} GHz "
+          f"(guardband {noise.frequency_guardband(0.95):.2f} GHz)")
+
+    # shape targets
+    assert summary["noise_growth_ratio"] > 1.3  # noise grows near the wall
+    assert summary["gaussian_fraction"] >= 0.5  # noise is essentially Gaussian
+    rates = [sweep.success_rate(t) for t in sweep.targets]
+    assert rates[0] == 1.0  # relaxed targets always close
+    assert rates[-1] < 1.0  # the wall exists inside the sweep
+    means = noise.area_mean()
+    assert means[-1] >= means[0]  # area rises with target aggressiveness

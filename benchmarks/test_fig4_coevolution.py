@@ -1,0 +1,45 @@
+"""Figure 4: SOC design today (local minimum) vs future (flip the arrows).
+
+Paper shape: in today's regime, flexibility-driven unpredictability
+inflates margins and degrades achieved quality; in the future regime
+(many partitions + freedoms-from-choice), predictability rises, margins
+fall, and achieved design quality strictly improves.
+"""
+
+from conftest import print_header
+
+from repro.core.costmodel import CoevolutionModel
+
+
+def _run_regimes():
+    today = CoevolutionModel("today").fixed_point()
+    future = CoevolutionModel("future", partitions=16).fixed_point()
+    return today, future
+
+
+def test_fig4_coevolution(benchmark):
+    today, future = benchmark(_run_regimes)
+
+    print_header("Figure 4: coevolution fixed points (0-1 scale)")
+    print(f"{'':>16} {'flexibility':>12} {'predictability':>15} "
+          f"{'margins':>8} {'quality':>8}")
+    for name, state in (("today (a)", today), ("future (b)", future)):
+        print(
+            f"{name:>16} {state.flexibility:>12.2f} "
+            f"{state.predictability:>15.2f} {state.margin:>8.2f} "
+            f"{state.quality:>8.2f}"
+        )
+
+    # partitioning sweep: more partitions -> better future quality
+    print("\nfuture-regime quality vs #partitions:")
+    for partitions in (1, 4, 16, 64):
+        q = CoevolutionModel("future", partitions=partitions).fixed_point().quality
+        print(f"  partitions={partitions:>3}: quality={q:.3f}")
+
+    assert future.quality > today.quality
+    assert future.predictability > today.predictability
+    assert future.margin < today.margin
+    assert future.flexibility < today.flexibility
+    q1 = CoevolutionModel("future", partitions=1).fixed_point().quality
+    q64 = CoevolutionModel("future", partitions=64).fixed_point().quality
+    assert q64 >= q1

@@ -1,0 +1,62 @@
+"""Figure 8: the accuracy-cost tradeoff in analysis, shifted by ML.
+
+Paper shape: accuracy costs runtime; "machine learning offers the
+potential to achieve 'accuracy for free', shifting the cost-accuracy
+tradeoff curve" — the +ML point reaches near-golden accuracy at
+near-cheap runtime.  The guardband consequence is also measured: the
+pessimism a raw cheap timer needs (and ML removes) causes real,
+unneeded sizing work in the optimizer.
+"""
+
+from conftest import print_header
+
+from repro.core.correlation import (
+    accuracy_cost_curve,
+    build_correlation_dataset,
+    guardband_optimization_cost,
+    miscorrelation_stats,
+)
+
+
+def test_fig8_accuracy_cost(benchmark):
+    dataset = benchmark.pedantic(
+        build_correlation_dataset, kwargs={"n_designs": 8, "seed": 42},
+        rounds=1, iterations=1,
+    )
+    train, test = dataset.split(0.7, seed=0)
+    points = accuracy_cost_curve(train, test, seed=0)
+
+    print_header("Figure 8: accuracy-cost tradeoff (endpoint slack analysis)")
+    stats = miscorrelation_stats(test)
+    print(f"raw miscorrelation on {int(stats['n'])} endpoints: "
+          f"mean {stats['mean']:.1f}ps, MAE {stats['mae']:.1f}ps, "
+          f"worst optimistic {stats['worst_optimistic']:.1f}ps")
+    print(f"\n{'configuration':>18} {'cost (work)':>12} {'MAE ps':>8} {'guardband ps':>13}")
+    for p in points:
+        print(f"{p.name:>18} {p.cost:>12.0f} {p.error:>8.2f} {p.guardband:>13.2f}")
+
+    by_name = {p.name: p for p in points}
+    cheap, golden = by_name["cheap"], by_name["golden"]
+    ml = min((p for p in points if p.name.startswith("cheap+ML")), key=lambda p: p.error)
+    # the Fig 8 shape: ML reaches near-golden accuracy at near-cheap cost
+    assert golden.cost / cheap.cost > 3
+    assert ml.error < 0.35 * cheap.error
+    assert ml.cost < 0.5 * golden.cost
+    assert ml.guardband < cheap.guardband
+
+
+def test_fig8_guardband_cost(benchmark):
+    """The Sec 3.2 consequence: pessimism costs area/power/schedule."""
+    guardbands = [0.0, 20.0, 50.0, 100.0, 150.0]
+    rows = benchmark.pedantic(guardband_optimization_cost, args=(guardbands,),
+                              kwargs={"seed": 11}, rounds=1, iterations=1)
+
+    print_header("Sec 3.2: cost of guardbanding (real optimizer runs)")
+    print(f"{'guardband ps':>13} {'sizing ops':>11} {'area delta':>11} "
+          f"{'leakage delta':>14}")
+    for row in rows:
+        print(f"{row['guardband']:>13.0f} {row['sizing_ops']:>11.0f} "
+              f"{row['area_delta']:>11.2f} {row['leakage_delta']:>14.3f}")
+
+    assert rows[-1]["sizing_ops"] > rows[0]["sizing_ops"]
+    assert rows[-1]["area_delta"] >= rows[0]["area_delta"]

@@ -1,0 +1,60 @@
+"""Figure 9: DRV progressions over detailed-routing iterations.
+
+Paper shape (log scale, 20 default iterations): a successful run
+(green) decays to ~zero; marginal runs decay slowly to a few hundred;
+unsuccessful runs (orange/red) plateau high or keep growing — "runs
+with an inevitably excessive number of DRVs" that are worth stopping
+early.
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.eda.routing import SUCCESS_DRV_THRESHOLD, DetailedRouter
+
+SCENARIOS = [
+    ("clean (green)", 0.70),
+    ("marginal", 0.95),
+    ("congested (orange)", 1.15),
+    ("doomed (red)", 1.35),
+]
+
+
+def test_fig9_drv_progressions(benchmark):
+    router = DetailedRouter(max_iterations=20)
+
+    def run_all():
+        return {
+            label: router.route(np.full((16, 16), base), seed=9)
+            for label, base in SCENARIOS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header("Figure 9: lg(#DRVs) vs router iteration (4 scenarios)")
+    print(f"{'iter':>5}", *(f"{label:>20}" for label, _ in SCENARIOS))
+    max_len = max(len(r.drvs_per_iteration) for r in results.values())
+    for t in range(max_len):
+        row = [f"{t:>5}"]
+        for label, _ in SCENARIOS:
+            series = results[label].drvs_per_iteration
+            if t < len(series):
+                lg = np.log10(series[t]) if series[t] > 0 else 0.0
+                row.append(f"{lg:>20.2f}")
+            else:
+                row.append(f"{'-':>20}")
+        print(" ".join(row))
+    print(f"\nfinal DRVs: " + ", ".join(
+        f"{label}={results[label].final_drvs}" for label, _ in SCENARIOS))
+
+    clean = results["clean (green)"]
+    doomed = results["doomed (red)"]
+    congested = results["congested (orange)"]
+    # shape targets
+    assert clean.final_drvs < SUCCESS_DRV_THRESHOLD  # green succeeds
+    assert doomed.final_drvs > 50 * SUCCESS_DRV_THRESHOLD  # red is hopeless
+    assert congested.final_drvs > SUCCESS_DRV_THRESHOLD  # orange fails too
+    # green decays monotonically-ish: final far below initial
+    assert clean.final_drvs < clean.initial_drvs / 10
+    # red does NOT decay: it ends at least as high as it started / 2
+    assert doomed.final_drvs > doomed.initial_drvs / 2

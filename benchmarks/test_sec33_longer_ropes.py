@@ -1,0 +1,88 @@
+"""Sec 3.3: prediction over "longer and longer ropes" of design steps.
+
+Paper claim: one-pass design requires predicting end-of-flow outcomes
+from earlier and earlier flow stages — the reviewed works form a
+progression of longer ropes (trial route -> detailed route; clock ECO
+-> timing; netlist+floorplan -> IR-aware timing).  Shape targets: the
+end-of-flow outcome is predictable well before the flow ends, accuracy
+degrades gracefully (not catastrophically) as the rope lengthens, and a
+pre-placement model can veto doomed P&R runs profitably.
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.bench.generators import artificial_profile
+from repro.core.prediction import (
+    FLOW_STAGES,
+    FloorplanDoomPredictor,
+    build_rope_dataset,
+    span_accuracy_profile,
+)
+
+
+def test_longer_ropes(benchmark):
+    dataset = benchmark.pedantic(
+        build_rope_dataset, kwargs={"n_runs": 90, "seed": 21},
+        rounds=1, iterations=1,
+    )
+    train, test = dataset.split(0.7, seed=0)
+
+    print_header("Sec 3.3: accuracy vs rope length (predicting signoff WNS)")
+    print(f"{'stages seen':>12} {'rope':>28} {'R^2':>7} {'MAE ps':>8}")
+    profiles = {}
+    for target in ("wns", "area"):
+        profiles[target] = span_accuracy_profile(train, test, target, seed=0)
+    for entry in profiles["wns"]:
+        span = int(entry["span"])
+        rope = " -> ".join(FLOW_STAGES[:span])
+        if len(rope) > 28:
+            rope = "... " + rope[-24:]
+        print(f"{span:>12} {rope:>28} {entry['r2']:>7.2f} {entry['mae']:>8.1f}")
+
+    print("\npredicting final area:")
+    for entry in profiles["area"]:
+        print(f"  stages {int(entry['span'])}: R^2 {entry['r2']:.2f}, "
+              f"MAE {entry['mae']:.1f} um^2")
+
+    wns_profile = profiles["wns"]
+    # the longest rope (synth only + options) still predicts something
+    assert wns_profile[0]["r2"] > 0.1
+    # the shortest rope (all stages seen) predicts well
+    assert wns_profile[-1]["r2"] > 0.5
+    # degradation is graceful: no span does catastrophically worse than
+    # the next-longer-information span
+    r2s = [e["r2"] for e in wns_profile]
+    assert min(r2s) > min(0.0, r2s[-1])
+    # area is pinned by synthesis: even the longest rope is strong
+    assert profiles["area"][0]["r2"] > 0.5
+
+
+def test_floorplan_doom_veto(benchmark):
+    specs = [artificial_profile(i) for i in range(4)]
+    predictor = FloorplanDoomPredictor(threshold=0.4, seed=0)
+    runs = benchmark.pedantic(
+        predictor.collect_training_runs, args=(specs,),
+        kwargs={"n_runs": 70, "seed": 22}, rounds=1, iterations=1,
+    )
+    predictor.fit_from_results(runs[:50])
+    report = predictor.evaluate(runs[50:])
+
+    print_header("Sec 3.3: doomed-floorplan veto (pre-placement prediction)")
+    print(f"held-out runs: {report['n']}")
+    print(f"accuracy: {report['accuracy']:.2f}")
+    print(f"doomed runs caught before placement: {report['caught_doomed']}")
+    print(f"good runs wrongly vetoed: {report['vetoed_good']}")
+    print(f"doomed runs missed: {report['missed_doomed']}")
+
+    route_work = [
+        sum(l.runtime_proxy for l in r.logs if l.step in ("place", "groute", "droute"))
+        for r in runs[50:]
+        if not r.routed
+    ]
+    if route_work and report["caught_doomed"]:
+        print(f"\nper doomed run, the veto saves ~{np.mean(route_work):.0f} "
+              f"place+route work units")
+
+    assert report["accuracy"] > 0.6
+    assert report["caught_doomed"] >= 1

@@ -1,0 +1,64 @@
+"""Sec 2, Solution 1: partitioning raises predictability and cuts TAT.
+
+Paper claims (Fig 4(b)): more partitions -> smaller subproblems that
+are solved faster and more predictably; parallel implementation of the
+blocks slashes turnaround time without undue quality loss.  Shape
+targets on the substrate: parallel TAT falls as partitions rise; the
+run-to-run spread of achieved frequency shrinks under partitioning;
+total area stays within a few percent of the flat flow.
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.bench import pulpino_profile
+from repro.core.partition import partitioned_implementation, predictability_study
+from repro.eda.flow import FlowOptions, SPRFlow
+
+
+def test_solution1_partitioning(benchmark):
+    spec = pulpino_profile()
+    options = FlowOptions(target_clock_ghz=0.6)
+
+    flat = SPRFlow().run(spec, options, seed=0)
+
+    def sweep():
+        return {
+            k: partitioned_implementation(spec, options, n_partitions=k, seed=10 + k)
+            for k in (2, 4, 8)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("Solution 1: partition count vs TAT / quality")
+    print(f"{'partitions':>11} {'TAT (parallel)':>15} {'TAT (serial)':>13} "
+          f"{'cut nets':>9} {'area':>8} {'ok':>4}")
+    print(f"{'flat':>11} {flat.runtime_proxy:>15.0f} {flat.runtime_proxy:>13.0f} "
+          f"{'-':>9} {flat.area:>8.1f} {str(flat.success):>4}")
+    for k, res in results.items():
+        print(f"{k:>11} {res.tat_parallel:>15.0f} {res.tat_serial:>13.0f} "
+              f"{res.n_cut_nets:>9} {res.area:>8.1f} {str(res.success):>4}")
+
+    # predictability is measured near the feasibility wall, where flat
+    # implementation is noisiest (Fig 3) and partitioning's benefit shows
+    near_wall = options.with_(target_clock_ghz=0.85)
+    study = predictability_study(spec, near_wall, n_partitions=4, n_seeds=5, seed0=100)
+    print("\npredictability at a near-wall 0.85 GHz target (5 seeds):")
+    print(f"  area CV:       flat {study['flat_area_cv']:.4f} -> "
+          f"partitioned {study['partitioned_area_cv']:.4f}")
+    print(f"  WNS spread:    flat {study['flat_wns_std']:.1f}ps -> "
+          f"partitioned {study['partitioned_wns_std']:.1f}ps")
+    print(f"  success rate:  flat {study['flat_success_rate']:.2f} -> "
+          f"partitioned {study['partitioned_success_rate']:.2f}")
+    print(f"  mean TAT ratio (flat / partitioned-parallel): "
+          f"{study['mean_tat_ratio']:.2f}x")
+
+    # shape targets
+    tats = [results[k].tat_parallel for k in (2, 4, 8)]
+    assert tats[0] > tats[-1]  # more partitions -> lower parallel TAT
+    assert all(res.tat_parallel < flat.runtime_proxy for res in results.values())
+    assert results[4].area < flat.area * 1.10  # no undue area loss
+    assert study["mean_tat_ratio"] > 1.5
+    # predictability: outcome spread shrinks under partitioning
+    assert study["partitioned_area_cv"] < study["flat_area_cv"]
+    assert study["partitioned_success_rate"] >= study["flat_success_rate"]

@@ -1,0 +1,57 @@
+"""Exploring the ITRS design-cost roadmap (Sec 2, Figs 1-2).
+
+What does design technology buy?  This example projects SOC-CP design
+cost under the full DT-innovation timeline and under frozen-DT
+counterfactuals, reproduces the paper's footnote-1 anchors, and shows
+the Design Capability Gap trajectory.
+
+Usage::
+
+    python examples/design_cost_explorer.py
+"""
+
+from repro.core.costmodel import CapabilityGapModel, DesignCostModel
+
+
+def _money(value: float) -> str:
+    if value >= 1e9:
+        return f"${value / 1e9:,.1f}B"
+    return f"${value / 1e6:,.1f}M"
+
+
+def main() -> None:
+    model = DesignCostModel()
+
+    print("DT innovation timeline:")
+    for innovation in model.innovations:
+        print(f"  {innovation.year}: {innovation.name} "
+              f"(x{innovation.productivity_multiplier} productivity)")
+
+    print("\nSOC-CP design cost projection:")
+    print(f"{'year':>6} {'with DT':>10} {'DT frozen @2000':>16} {'DT frozen @2013':>16}")
+    for year in range(2001, 2029, 3):
+        print(f"{year:>6} {_money(model.design_cost(year)):>10} "
+              f"{_money(model.design_cost(year, dt_freeze_year=2000)):>16} "
+              f"{_money(model.design_cost(year, dt_freeze_year=2013)):>16}")
+
+    print("\npaper footnote-1 anchors vs this model:")
+    anchors = model.footnote1_anchors()
+    rows = [
+        ("2013, full DT", "$45.4M", anchors["cost_2013_with_dt"]),
+        ("2013, frozen @2000", "~$1B", anchors["cost_2013_frozen_2000"]),
+        ("2028, frozen @2013", "$3.4B", anchors["cost_2028_frozen_2013"]),
+        ("2028, frozen @2000", "~$70B", anchors["cost_2028_frozen_2000"]),
+    ]
+    for label, paper, measured in rows:
+        print(f"  {label:<20} paper {paper:>7}   model {_money(measured)}")
+
+    gap = CapabilityGapModel()
+    print("\nDesign Capability Gap (available vs realized density):")
+    print(f"{'year':>6} {'available/mm^2':>15} {'realized/mm^2':>15} {'gap':>6}")
+    for year in range(1995, 2016, 4):
+        print(f"{year:>6} {gap.available_density(year):>15.2e} "
+              f"{gap.realized_density(year):>15.2e} {gap.gap(year):>6.2f}")
+
+
+if __name__ == "__main__":
+    main()

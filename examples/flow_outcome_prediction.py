@@ -1,0 +1,50 @@
+"""Predicting flow outcomes over longer and longer ropes (Sec 3.3).
+
+Trains end-of-flow outcome predictors on randomized flow runs, shows
+the accuracy-vs-span profile, and uses the pre-placement doom predictor
+to veto hopeless runs before any placement or routing happens.
+
+Usage::
+
+    python examples/flow_outcome_prediction.py
+"""
+
+from repro.bench.generators import artificial_profile
+from repro.core.prediction import (
+    FLOW_STAGES,
+    FloorplanDoomPredictor,
+    build_rope_dataset,
+    span_accuracy_profile,
+)
+from repro.eda import FlowOptions
+
+
+def main() -> None:
+    print("running 60 randomized flows to build the rope dataset...")
+    dataset = build_rope_dataset(n_runs=60, seed=5)
+    train, test = dataset.split(0.7, seed=0)
+
+    print("\nhow early can signoff WNS be predicted?")
+    print(f"{'stages seen':>12} {'R^2':>6} {'MAE ps':>8}")
+    for entry in span_accuracy_profile(train, test, "wns", seed=0):
+        span = int(entry["span"])
+        print(f"{span:>12} {entry['r2']:>6.2f} {entry['mae']:>8.1f}"
+              f"   ({' -> '.join(FLOW_STAGES[:span])})")
+
+    print("\ntraining the doomed-floorplan predictor (pre-placement veto)...")
+    specs = [artificial_profile(i) for i in range(3)]
+    predictor = FloorplanDoomPredictor(threshold=0.4, seed=0)
+    predictor.fit(specs, n_runs=40, seed=6)
+
+    print("\nveto decisions for candidate (utilization, supply) setups:")
+    print(f"{'utilization':>12} {'tracks/um':>10} {'P(routes)':>10} {'decision':>9}")
+    spec = artificial_profile(0)
+    for utilization, tracks in ((0.55, 18.0), (0.7, 14.0), (0.85, 11.0), (0.95, 8.0)):
+        options = FlowOptions(utilization=utilization, router_tracks_per_um=tracks)
+        p = predictor.success_probability(spec, options)
+        decision = "VETO" if predictor.veto(spec, options) else "run"
+        print(f"{utilization:>12.2f} {tracks:>10.1f} {p:>10.2f} {decision:>9}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""METRICS 2.0: measure, mine, and adapt with no human (Sec 4, Fig 11).
+
+Every flow run reports ~30 vocabulary metrics into the METRICS server;
+after a seed phase the data miner recommends option settings, and the
+campaign applies them automatically — the paper's "adapt tool/flow
+parameters midstream without human intervention".
+
+Usage::
+
+    python examples/metrics_campaign.py
+"""
+
+from repro.bench import pulpino_profile
+from repro.eda import FlowOptions
+from repro.metrics import AdaptiveFlowSession, DataMiner
+
+
+def main() -> None:
+    spec = pulpino_profile(scale=0.5)
+    session = AdaptiveFlowSession(spec=spec, objective="flow.area", seed=3)
+
+    print(f"campaign on {spec.name}: 10 exploratory + 6 miner-guided runs")
+    best = session.run_campaign(
+        n_seed=10, n_adaptive=6, base_options=FlowOptions(target_clock_ghz=0.7)
+    )
+
+    server = session.server
+    print(f"\ncollected {len(server)} metric records over {len(server.runs())} runs")
+
+    miner = DataMiner(server, seed=0)
+    print("\noption sensitivity to final area:")
+    for option, value in miner.sensitivity("flow.area", design=spec.name).items():
+        bar = "#" * int(40 * value)
+        print(f"  {option:<24} {value:4.2f} {bar}")
+
+    print("\nrun history (area um^2, S = success; runs 11+ are miner-guided):")
+    for i, run in enumerate(session.history):
+        phase = "seed " if i < session.n_seed_runs else "mined"
+        print(f"  {i + 1:>2} [{phase}] area={run.area:7.1f} "
+              f"target={run.options.target_clock_ghz:.2f}GHz "
+              f"util={run.options.utilization:.2f} "
+              f"{'S' if run.success else '-'}")
+
+    print(f"\nbest result: area {best.area:.1f} um^2 at "
+          f"{best.options.target_clock_ghz:.2f} GHz "
+          f"(improvement ratio vs seed phase: {session.improvement():.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Robot engineers: 24/7 expert-system task automation (Sec 3.1).
+
+Three of the paper's "obvious, high-value applications": automated DRC
+violation fixing, automated timing closure, and memory-macro placement.
+Each robot owns an escalation ladder and runs its task to completion —
+the trial-and-error loop that otherwise consumes expert schedule.
+
+Usage::
+
+    python examples/robot_engineers.py
+"""
+
+from repro.bench import pulpino_profile
+from repro.core.orchestration import (
+    DRCFixRobot,
+    MemoryPlacementRobot,
+    TimingClosureRobot,
+)
+from repro.eda import FlowOptions
+from repro.eda.floorplan import Floorplan
+
+
+def main() -> None:
+    spec = pulpino_profile(scale=0.5)
+
+    # --- robot 1: DRC fixing -------------------------------------------
+    print("=== DRC-fix robot ===")
+    congested = FlowOptions(target_clock_ghz=0.5, utilization=0.93,
+                            router_effort=0.3, router_tracks_per_um=10.0)
+    report = DRCFixRobot(max_attempts=7).run(spec, congested, seed=1)
+    for i, action in enumerate(report.actions, 1):
+        print(f"  attempt {i} failed -> {action}")
+    print(f"  {'SOLVED' if report.solved else 'gave up'} after "
+          f"{report.attempts} attempts; final DRVs "
+          f"{report.final_result.final_drvs}")
+
+    # --- robot 2: timing closure ----------------------------------------
+    print("\n=== timing-closure robot ===")
+    greedy = FlowOptions(target_clock_ghz=2.2, opt_passes=2)
+    report = TimingClosureRobot(max_attempts=10, frequency_step=0.15).run(
+        spec, greedy, seed=2
+    )
+    for i, action in enumerate(report.actions, 1):
+        print(f"  attempt {i} failed -> {action}")
+    final = report.final_result
+    print(f"  {'CLOSED' if report.solved else 'open'} at "
+          f"{final.options.target_clock_ghz:.2f} GHz "
+          f"(wns {final.wns:.1f} ps) after {report.attempts} attempts")
+
+    # --- robot 3: memory placement --------------------------------------
+    print("\n=== memory-placement robot ===")
+    floorplan = Floorplan(width=40.0, height=40.0, utilization=0.7)
+    macros = [(12.0, 8.0), (8.0, 8.0), (10.0, 6.0)]
+    report = MemoryPlacementRobot(grid=8).run(floorplan, macros, seed=3)
+    for action in report.actions:
+        print(f"  {action}")
+    print(f"  {'PLACED' if report.solved else 'failed'}: "
+          f"{len(floorplan.macros)} macros, "
+          f"{report.attempts} candidate positions scored")
+
+
+if __name__ == "__main__":
+    main()

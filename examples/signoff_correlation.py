@@ -1,0 +1,51 @@
+"""Learning away analysis miscorrelation (Sec 3.2, Fig 8).
+
+The embedded (graph-based) timer and the signoff timer disagree; the
+disagreement forces a guardband; the guardband forces unneeded sizing.
+This example builds the endpoint dataset from paired engine runs,
+trains a correction model, and quantifies both the accuracy-for-free
+shift and the optimizer work the smaller guardband saves.
+
+Usage::
+
+    python examples/signoff_correlation.py
+"""
+
+from repro.core.correlation import (
+    MiscorrelationModel,
+    accuracy_cost_curve,
+    build_correlation_dataset,
+    guardband_optimization_cost,
+    miscorrelation_stats,
+)
+
+
+def main() -> None:
+    print("building endpoint dataset from paired GraphSTA/SignoffSTA runs...")
+    dataset = build_correlation_dataset(n_designs=6, seed=0)
+    stats = miscorrelation_stats(dataset)
+    print(f"  {dataset.n_samples} endpoints over 6 designs")
+    print(f"  raw divergence: mean {stats['mean']:.1f} ps, MAE {stats['mae']:.1f} ps, "
+          f"worst-optimistic {stats['worst_optimistic']:.1f} ps")
+
+    train, test = dataset.split(0.7, seed=1)
+    print("\naccuracy-cost tradeoff (Fig 8):")
+    print(f"{'configuration':>18} {'cost':>10} {'MAE ps':>8} {'guardband ps':>13}")
+    for p in accuracy_cost_curve(train, test, seed=0):
+        print(f"{p.name:>18} {p.cost:>10.0f} {p.error:>8.2f} {p.guardband:>13.2f}")
+
+    model = MiscorrelationModel(kind="gbm", seed=0).fit(train)
+    report = model.report(test)
+    print(f"\nGBM correction: raw MAE {report['raw_mae']:.2f} ps -> "
+          f"ML MAE {report['ml_mae']:.2f} ps "
+          f"({100 * (1 - report['ml_mae'] / report['raw_mae']):.0f}% error removed)")
+
+    print("\nwhat pessimism costs (real optimizer, guardband sweep):")
+    print(f"{'guardband ps':>13} {'sizing ops':>11} {'area delta um^2':>16}")
+    for row in guardband_optimization_cost([0.0, 25.0, 75.0, 150.0], seed=1):
+        print(f"{row['guardband']:>13.0f} {row['sizing_ops']:>11.0f} "
+              f"{row['area_delta']:>16.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — reproduction of Kahng, "Reducing Time and Effort in IC
+Implementation: A Roadmap of Challenges and Solutions" (DAC 2018).
+
+The package is organized as:
+
+- :mod:`repro.eda` — a self-contained, simulated SP&R tool substrate
+  (library, netlist, synthesis, placement, routing, STA, power, flow).
+- :mod:`repro.ml` — from-scratch ML kit (linear models, trees, HMMs,
+  MDPs, clustering).
+- :mod:`repro.core` — the paper's contribution: MAB tool-run scheduling,
+  doomed-run prediction, analysis-correlation learning, GWTW/adaptive
+  multistart search, flow orchestration, the ITRS design cost model and
+  tool-noise characterization.
+- :mod:`repro.metrics` — a METRICS 2.0 measurement/feedback system.
+- :mod:`repro.bench` — design and logfile corpus generators.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,33 @@
+"""Workload and corpus generators.
+
+Profiles for the designs the paper's experiments use (a PULPino-class
+RISC-V core, an embedded CPU, artificial layouts), detailed-router
+logfile corpora with the paper's train/test domain shift, and
+"eyechart" gate-sizing benchmarks with known optimal solutions
+(paper refs [11], [23]).
+"""
+
+from repro.bench.generators import (
+    DRIVER_CLASSES,
+    artificial_profile,
+    design_profile,
+    embedded_cpu_profile,
+    pulpino_profile,
+)
+from repro.bench.corpus import RouterLogCorpus, RouterLog
+from repro.bench.eyecharts import Eyechart, VtEyechart, greedy_vt_assignment, make_eyechart, make_vt_eyechart
+
+__all__ = [
+    "DRIVER_CLASSES",
+    "design_profile",
+    "pulpino_profile",
+    "embedded_cpu_profile",
+    "artificial_profile",
+    "RouterLogCorpus",
+    "RouterLog",
+    "Eyechart",
+    "make_eyechart",
+    "VtEyechart",
+    "make_vt_eyechart",
+    "greedy_vt_assignment",
+]

@@ -1,0 +1,129 @@
+"""Tool characterization with eyecharts (paper refs [11][23]).
+
+Eyecharts exist so heuristics can be graded against a *known optimum*
+instead of against each other.  This module grades gate-sizing
+heuristics on chain eyecharts: each sizer proposes drive strengths, and
+its quality is delay / optimal-delay (1.0 = perfect), aggregated over a
+seeded benchmark suite — "constructive benchmarking of gate sizing
+heuristics".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.eyecharts import Eyechart, make_eyechart
+from repro.eda.library import DRIVE_STRENGTHS, StdCellLibrary, make_default_library
+
+#: a sizer maps (eyechart, library, rng) -> drive tuple
+Sizer = Callable[[Eyechart, StdCellLibrary, np.random.Generator], Tuple[int, ...]]
+
+
+def optimal_sizer(chart: Eyechart, library: StdCellLibrary, rng) -> Tuple[int, ...]:
+    """The DP reference (quality exactly 1.0)."""
+    return chart.optimal_drives
+
+
+def naive_sizer(chart: Eyechart, library: StdCellLibrary, rng) -> Tuple[int, ...]:
+    """Everything at minimum drive — the unsized baseline."""
+    return tuple([1] * chart.n_stages)
+
+
+def greedy_sizer(chart: Eyechart, library: StdCellLibrary, rng) -> Tuple[int, ...]:
+    """Local moves: repeatedly apply the single resize that helps most.
+
+    This mimics what sizing heuristics inside P&R tools do; eyecharts
+    exist precisely to measure how far such greed lands from optimal.
+    """
+    drives = [1] * chart.n_stages
+    current = chart.delay_of(tuple(drives), library)
+    while True:
+        best_move = None
+        for stage in range(1, chart.n_stages):  # stage 0 is pinned
+            for drive in DRIVE_STRENGTHS:
+                if drive == drives[stage]:
+                    continue
+                trial = list(drives)
+                trial[stage] = drive
+                delay = chart.delay_of(tuple(trial), library)
+                if delay < current - 1e-12:
+                    current = delay
+                    best_move = (stage, drive)
+        if best_move is None:
+            return tuple(drives)
+        drives[best_move[0]] = best_move[1]
+
+
+def random_sizer(chart: Eyechart, library: StdCellLibrary, rng) -> Tuple[int, ...]:
+    """Best of 20 random assignments — the trial-and-error engineer."""
+    best = None
+    best_delay = np.inf
+    for _ in range(20):
+        drives = tuple(
+            [1] + [int(rng.choice(DRIVE_STRENGTHS)) for _ in range(chart.n_stages - 1)]
+        )
+        delay = chart.delay_of(drives, library)
+        if delay < best_delay:
+            best_delay = delay
+            best = drives
+    return best
+
+
+BUILTIN_SIZERS: Dict[str, Sizer] = {
+    "optimal": optimal_sizer,
+    "greedy": greedy_sizer,
+    "random20": random_sizer,
+    "naive_x1": naive_sizer,
+}
+
+
+@dataclass
+class CharacterizationReport:
+    """Quality statistics of one sizer over an eyechart suite."""
+
+    sizer: str
+    qualities: List[float]
+
+    @property
+    def mean_quality(self) -> float:
+        return float(np.mean(self.qualities))
+
+    @property
+    def worst_quality(self) -> float:
+        return float(np.max(self.qualities))
+
+    @property
+    def optimal_rate(self) -> float:
+        """Fraction of charts solved exactly."""
+        return float(np.mean([q <= 1.0 + 1e-9 for q in self.qualities]))
+
+
+def characterize(
+    sizers: Optional[Dict[str, Sizer]] = None,
+    n_charts: int = 20,
+    n_stages: int = 8,
+    seed: int = 0,
+    library: Optional[StdCellLibrary] = None,
+) -> List[CharacterizationReport]:
+    """Grade sizers over a seeded suite of eyecharts."""
+    if n_charts < 1:
+        raise ValueError("need at least one chart")
+    sizers = sizers or BUILTIN_SIZERS
+    library = library or make_default_library()
+    rng = np.random.default_rng(seed)
+    charts = [
+        make_eyechart(n_stages=n_stages, seed=int(rng.integers(0, 2**31 - 1)),
+                      library=library, output_load=float(rng.uniform(20.0, 60.0)))
+        for _ in range(n_charts)
+    ]
+    reports = []
+    for name, sizer in sizers.items():
+        qualities = []
+        for chart in charts:
+            drives = sizer(chart, library, rng)
+            qualities.append(chart.quality_of(drives, library))
+        reports.append(CharacterizationReport(sizer=name, qualities=qualities))
+    return reports

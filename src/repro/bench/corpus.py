@@ -1,0 +1,172 @@
+"""Detailed-router logfile corpora for the doomed-run experiments.
+
+The paper's Sec 3.3 table trains its MDP policy on 1200 logfiles from
+*artificial layouts* and tests on 3742 logfiles from *floorplans of an
+embedded CPU* — a deliberate domain shift.  This module reproduces both
+corpora against our substrate:
+
+- **artificial** — congestion maps with uniform base demand and mild
+  texture (what regular, synthetic layouts look like to a router);
+- **cpu** — congestion maps taken from real global-route results of the
+  embedded-CPU profile (placed and routed at several utilizations and
+  seeds), perturbed by a routing-supply factor and a macro hotspot.
+
+Every logfile is a genuine run of :class:`~repro.eda.routing.DetailedRouter`
+on such a map; the DRV-per-iteration series and the success label
+(final DRVs < 200, per the paper) come from the simulator, not from
+sampled curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.eda.routing import (
+    SUCCESS_DRV_THRESHOLD,
+    DetailedRouter,
+    GlobalRouter,
+)
+
+
+@dataclass
+class RouterLog:
+    """One detailed-routing logfile: a DRV time series plus ground truth."""
+
+    drvs: List[int]
+    success: bool
+    domain: str
+    difficulty: float  # routing demand scale used to create the run
+
+    @property
+    def final_drvs(self) -> int:
+        return self.drvs[-1]
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.drvs) - 1
+
+
+class RouterLogCorpus:
+    """A labeled set of router logfiles from one domain."""
+
+    def __init__(self, logs: List[RouterLog], domain: str):
+        if not logs:
+            raise ValueError("corpus must contain at least one log")
+        self.logs = logs
+        self.domain = domain
+
+    def __len__(self) -> int:
+        return len(self.logs)
+
+    def __iter__(self):
+        return iter(self.logs)
+
+    @property
+    def success_rate(self) -> float:
+        return sum(log.success for log in self.logs) / len(self.logs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def artificial(
+        cls,
+        n: int = 1200,
+        seed: int = 0,
+        max_iterations: int = 20,
+        grid: int = 16,
+    ) -> "RouterLogCorpus":
+        """Training corpus: artificial (uniform-texture) layouts."""
+        rng = np.random.default_rng(seed)
+        router = DetailedRouter(max_iterations=max_iterations)
+        logs = []
+        for _ in range(n):
+            base = rng.uniform(0.55, 1.30)
+            texture = rng.normal(0.0, 0.08, size=(grid, grid))
+            cong = np.clip(base + texture, 0.0, None)
+            result = router.route(cong, seed=int(rng.integers(0, 2**31 - 1)))
+            logs.append(
+                RouterLog(
+                    drvs=result.drvs_per_iteration,
+                    success=result.final_drvs < SUCCESS_DRV_THRESHOLD,
+                    domain="artificial",
+                    difficulty=float(base),
+                )
+            )
+        return cls(logs, "artificial")
+
+    @classmethod
+    def cpu_floorplans(
+        cls,
+        n: int = 3742,
+        seed: int = 0,
+        max_iterations: int = 20,
+        n_base_maps: int = 6,
+    ) -> "RouterLogCorpus":
+        """Testing corpus: floorplans of the embedded CPU profile."""
+        rng = np.random.default_rng(seed)
+        bases = _cpu_base_maps(n_base_maps, seed=seed)
+        router = DetailedRouter(max_iterations=max_iterations)
+        logs = []
+        for _ in range(n):
+            base = bases[int(rng.integers(0, len(bases)))]
+            supply = rng.uniform(0.62, 1.40)
+            cong = base / supply
+            # a macro blocks routing resources somewhere on the die
+            cong = _add_hotspot(cong, rng, strength=rng.uniform(0.0, 0.5))
+            result = router.route(cong, seed=int(rng.integers(0, 2**31 - 1)))
+            logs.append(
+                RouterLog(
+                    drvs=result.drvs_per_iteration,
+                    success=result.final_drvs < SUCCESS_DRV_THRESHOLD,
+                    domain="cpu",
+                    difficulty=float(1.0 / supply),
+                )
+            )
+        return cls(logs, "cpu")
+
+
+_CPU_MAP_CACHE = {}
+
+
+def _cpu_base_maps(n_maps: int, seed: int = 0) -> List[np.ndarray]:
+    """Real congestion maps: place + global-route the CPU profile."""
+    key = (n_maps, seed)
+    if key in _CPU_MAP_CACHE:
+        return _CPU_MAP_CACHE[key]
+    from repro.bench.generators import embedded_cpu_profile
+    from repro.eda.floorplan import make_floorplan
+    from repro.eda.library import make_default_library
+    from repro.eda.placement import QuadraticPlacer
+    from repro.eda.synthesis import synthesize
+
+    rng = np.random.default_rng(seed)
+    library = make_default_library()
+    spec = embedded_cpu_profile(scale=0.5)
+    maps = []
+    utilizations = np.linspace(0.6, 0.88, n_maps)
+    for util in utilizations:
+        netlist = synthesize(spec, library, effort=0.5, seed=int(rng.integers(0, 2**31 - 1)))
+        floorplan = make_floorplan(netlist, utilization=float(util))
+        placement = QuadraticPlacer().place(netlist, floorplan, int(rng.integers(0, 2**31 - 1)))
+        groute = GlobalRouter().route(placement, int(rng.integers(0, 2**31 - 1)))
+        maps.append(groute.congestion_map())
+    _CPU_MAP_CACHE[key] = maps
+    return maps
+
+
+def _add_hotspot(
+    cong: np.ndarray, rng: np.random.Generator, strength: float
+) -> np.ndarray:
+    """Overlay a rectangular high-demand region (a macro shadow)."""
+    if strength <= 0:
+        return cong
+    out = cong.copy()
+    ny, nx = out.shape
+    h = int(rng.integers(2, max(3, ny // 3)))
+    w = int(rng.integers(2, max(3, nx // 3)))
+    j0 = int(rng.integers(0, ny - h))
+    i0 = int(rng.integers(0, nx - w))
+    out[j0 : j0 + h, i0 : i0 + w] += strength
+    return out

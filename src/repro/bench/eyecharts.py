@@ -1,0 +1,288 @@
+"""Eyecharts: gate-sizing benchmarks with known optimal solutions.
+
+The paper (Sec 3.3, refs [11] and [23]) calls for synthetic design
+proxies — "eye charts" — whose optimum is known by construction, so
+tools and heuristics can be *characterized* rather than just compared
+to each other.  This module builds inverter/NAND chain topologies and
+computes their exact delay-optimal discrete sizing by dynamic
+programming (exact for chains, which is what makes the benchmark's
+optimum "known").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eda.library import StdCellLibrary, make_default_library
+from repro.eda.netlist import Netlist
+
+
+@dataclass
+class Eyechart:
+    """A sizing benchmark: a chain netlist plus its known optimum."""
+
+    netlist: Netlist
+    stage_functions: List[str]
+    side_loads: List[float]  # extra fF hung on each internal net
+    output_load: float
+    optimal_drives: Tuple[int, ...]
+    optimal_delay: float
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_functions)
+
+    def delay_of(self, drives: Tuple[int, ...], library: StdCellLibrary) -> float:
+        """Chain delay for an arbitrary sizing assignment."""
+        if len(drives) != self.n_stages:
+            raise ValueError("one drive per stage required")
+        return _chain_delay(
+            self.stage_functions, drives, self.side_loads, self.output_load, library
+        )
+
+    def quality_of(self, drives: Tuple[int, ...], library: StdCellLibrary) -> float:
+        """Suboptimality ratio (1.0 = optimal; larger = worse)."""
+        return self.delay_of(drives, library) / self.optimal_delay
+
+
+def make_eyechart(
+    n_stages: int = 8,
+    output_load: float = 40.0,
+    seed: Optional[int] = None,
+    library: Optional[StdCellLibrary] = None,
+) -> Eyechart:
+    """Build a chain eyechart and solve it exactly.
+
+    Stage functions alternate INV/NAND2/NOR2 (seeded choice); side loads
+    model fanout stubs; the first stage is pinned at drive X1 (a weak
+    source), making the optimum a nontrivial taper.  The optimum over
+    the library's discrete drive strengths is found by exhaustive DP
+    over (stage, drive) states.
+    """
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    if output_load <= 0:
+        raise ValueError("output_load must be positive")
+    library = library or make_default_library()
+    rng = np.random.default_rng(seed)
+    functions = [("INV", "NAND2", "NOR2")[int(rng.integers(0, 3))] for _ in range(n_stages)]
+    side_loads = [float(rng.uniform(0.0, 4.0)) for _ in range(n_stages - 1)] + [0.0]
+
+    optimal_drives, optimal_delay = _solve_chain(
+        functions, side_loads, output_load, library
+    )
+    netlist = _build_chain_netlist(functions, optimal_drives, library)
+    return Eyechart(
+        netlist=netlist,
+        stage_functions=functions,
+        side_loads=side_loads,
+        output_load=output_load,
+        optimal_drives=optimal_drives,
+        optimal_delay=optimal_delay,
+    )
+
+
+def _drive_options(library: StdCellLibrary, function: str) -> List[int]:
+    return sorted({c.drive for c in library.variants(function) if c.vt == "SVT"})
+
+
+def _chain_delay(functions, drives, side_loads, output_load, library) -> float:
+    total = 0.0
+    for i, (function, drive) in enumerate(zip(functions, drives)):
+        cell = library.pick(function, drive)
+        if i + 1 < len(functions):
+            next_cell = library.pick(functions[i + 1], drives[i + 1])
+            load = next_cell.input_cap + side_loads[i]
+        else:
+            load = output_load
+        total += cell.delay(load, input_slew=10.0)
+    return total
+
+
+def _solve_chain(functions, side_loads, output_load, library):
+    """Exact min-delay sizing by backward DP over stages.
+
+    State: the drive of the current stage (which fixes the load seen by
+    the previous stage).  Because the chain delay decomposes per stage
+    given adjacent drives, DP is exact.
+    """
+    n = len(functions)
+    options = [_drive_options(library, f) for f in functions]
+    # the chain is driven by a weak source: the first stage is pinned at
+    # X1 (otherwise max-drive-everywhere is trivially optimal)
+    options[0] = [1]
+    # best[i][d] = min delay of stages i..n-1 given stage i uses drive d
+    best = [dict() for _ in range(n)]
+    choice = [dict() for _ in range(n)]
+    for d in options[-1]:
+        cell = library.pick(functions[-1], d)
+        best[-1][d] = cell.delay(output_load, input_slew=10.0)
+    for i in range(n - 2, -1, -1):
+        for d in options[i]:
+            cell = library.pick(functions[i], d)
+            candidates = []
+            for d_next in options[i + 1]:
+                next_cell = library.pick(functions[i + 1], d_next)
+                load = next_cell.input_cap + side_loads[i]
+                candidates.append(
+                    (cell.delay(load, input_slew=10.0) + best[i + 1][d_next], d_next)
+                )
+            value, d_next = min(candidates)
+            best[i][d] = value
+            choice[i][d] = d_next
+    first = min(best[0], key=lambda d: best[0][d])
+    drives = [first]
+    for i in range(n - 1):
+        drives.append(choice[i][drives[-1]])
+    return tuple(drives), best[0][first]
+
+
+@dataclass
+class VtEyechart:
+    """A VT-assignment benchmark with known optimal leakage.
+
+    Drives are fixed, so each stage's delay and leakage depend only on
+    its own VT class — the optimum under a total-delay budget is exact
+    (found by exhaustive enumeration, feasible for chain lengths <= 12).
+    Mirrors the power-recovery step of real flows: swap cells to higher
+    VT wherever the timing budget allows.
+    """
+
+    stage_functions: List[str]
+    stage_drives: Tuple[int, ...]
+    stage_delays: Dict[str, List[float]]  # vt -> per-stage delay
+    stage_leakage: Dict[str, List[float]]  # vt -> per-stage leakage
+    delay_budget: float
+    optimal_vts: Tuple[str, ...]
+    optimal_leakage: float
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_functions)
+
+    def delay_of(self, vts: Sequence[str]) -> float:
+        self._check(vts)
+        return sum(self.stage_delays[vt][i] for i, vt in enumerate(vts))
+
+    def leakage_of(self, vts: Sequence[str]) -> float:
+        self._check(vts)
+        return sum(self.stage_leakage[vt][i] for i, vt in enumerate(vts))
+
+    def is_feasible(self, vts: Sequence[str]) -> bool:
+        return self.delay_of(vts) <= self.delay_budget + 1e-9
+
+    def quality_of(self, vts: Sequence[str]) -> float:
+        """Leakage over optimal leakage; infeasible assignments -> inf."""
+        if not self.is_feasible(vts):
+            return float("inf")
+        return self.leakage_of(vts) / self.optimal_leakage
+
+    def _check(self, vts: Sequence[str]) -> None:
+        if len(vts) != self.n_stages:
+            raise ValueError("one VT class per stage required")
+        for vt in vts:
+            if vt not in self.stage_delays:
+                raise ValueError(f"unknown VT class {vt!r}")
+
+
+def make_vt_eyechart(
+    n_stages: int = 8,
+    slack_fraction: float = 0.15,
+    seed: Optional[int] = None,
+    library: Optional[StdCellLibrary] = None,
+) -> VtEyechart:
+    """Build a VT-assignment eyechart and solve it exactly.
+
+    The delay budget is ``(1 + slack_fraction)`` times the all-LVT
+    (fastest) chain delay: tight enough that all-HVT is infeasible,
+    loose enough that some stages can relax — a nontrivial assignment.
+    """
+    if not 2 <= n_stages <= 12:
+        raise ValueError("n_stages must be in [2, 12] (exact solve)")
+    if slack_fraction <= 0:
+        raise ValueError("slack_fraction must be positive")
+    library = library or make_default_library()
+    rng = np.random.default_rng(seed)
+    functions = [("INV", "NAND2", "NOR2")[int(rng.integers(0, 3))] for _ in range(n_stages)]
+    drives = tuple(int(rng.choice((1, 2, 4))) for _ in range(n_stages))
+    loads = [float(rng.uniform(2.0, 12.0)) for _ in range(n_stages)]
+
+    vt_classes = ("LVT", "SVT", "HVT")
+    stage_delays = {vt: [] for vt in vt_classes}
+    stage_leakage = {vt: [] for vt in vt_classes}
+    for i, (function, drive) in enumerate(zip(functions, drives)):
+        for vt in vt_classes:
+            cell = library.pick(function, drive, vt)
+            stage_delays[vt].append(cell.delay(loads[i], input_slew=10.0))
+            stage_leakage[vt].append(cell.leakage)
+
+    fastest = sum(stage_delays["LVT"])
+    budget = fastest * (1.0 + slack_fraction)
+
+    best_vts = None
+    best_leak = float("inf")
+    for combo in product(vt_classes, repeat=n_stages):
+        delay = sum(stage_delays[vt][i] for i, vt in enumerate(combo))
+        if delay > budget + 1e-12:
+            continue
+        leak = sum(stage_leakage[vt][i] for i, vt in enumerate(combo))
+        if leak < best_leak:
+            best_leak = leak
+            best_vts = combo
+    return VtEyechart(
+        stage_functions=functions,
+        stage_drives=drives,
+        stage_delays=stage_delays,
+        stage_leakage=stage_leakage,
+        delay_budget=budget,
+        optimal_vts=best_vts,
+        optimal_leakage=best_leak,
+    )
+
+
+def greedy_vt_assignment(chart: VtEyechart) -> Tuple[str, ...]:
+    """The power-recovery heuristic: start all-LVT (fastest), repeatedly
+    take the relaxation with the best leakage-saved / delay-cost ratio
+    that still fits the budget."""
+    order = ("LVT", "SVT", "HVT")
+    vts = ["LVT"] * chart.n_stages
+    delay = chart.delay_of(vts)
+    while True:
+        best = None
+        for i, vt in enumerate(vts):
+            idx = order.index(vt)
+            if idx + 1 >= len(order):
+                continue
+            nxt = order[idx + 1]
+            d_cost = chart.stage_delays[nxt][i] - chart.stage_delays[vt][i]
+            leak_gain = chart.stage_leakage[vt][i] - chart.stage_leakage[nxt][i]
+            if delay + d_cost > chart.delay_budget + 1e-9 or leak_gain <= 0:
+                continue
+            ratio = leak_gain / max(1e-12, d_cost)
+            if best is None or ratio > best[0]:
+                best = (ratio, i, nxt, d_cost)
+        if best is None:
+            return tuple(vts)
+        _, i, nxt, d_cost = best
+        vts[i] = nxt
+        delay += d_cost
+
+
+def _build_chain_netlist(functions, drives, library) -> Netlist:
+    netlist = Netlist("eyechart", library)
+    netlist.add_primary_input("in0")
+    clk = netlist.add_primary_input("clk")
+    netlist.set_clock(clk.name)
+    prev = "in0"
+    for i, (function, drive) in enumerate(zip(functions, drives)):
+        cell = library.pick(function, drive)
+        inputs = [prev] * cell.n_inputs
+        inst = netlist.add_instance(f"s{i}", cell, inputs)
+        prev = inst.output_net
+    netlist.mark_primary_output(prev)
+    netlist.validate()
+    return netlist

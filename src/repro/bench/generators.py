@@ -1,0 +1,149 @@
+"""Design profiles for the paper's testcases and driver classes.
+
+The paper's experiments run on a PULPino RISC-V core in foundry 14nm
+(Figs 3, 7), floorplans of an embedded CPU (the doomed-run test set)
+and artificial layouts (the doomed-run training set).  These profiles
+produce :class:`~repro.eda.synthesis.DesignSpec` objects whose flow
+behaviour matches the role each design plays: the PULPino profile's
+maximum achievable frequency sits near 0.78 GHz-equivalent so the
+paper's 0.38-0.78 GHz target sweep brackets its feasibility wall.
+
+The paper's conclusion (Q2) also calls for distinct "design driver
+classes (RF, GPU, CPU, DSP, NOC, PHY)" against which progress is
+measured; :data:`DRIVER_CLASSES` provides one profile per class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.eda.synthesis import DesignSpec
+
+
+def pulpino_profile(scale: float = 1.0) -> DesignSpec:
+    """A PULPino-class RISC-V microcontroller core.
+
+    ``scale`` multiplies gate and flop counts (1.0 keeps flow runs under
+    ~2 s so the paper's 200-run MAB experiment stays laptop-sized).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return DesignSpec(
+        name="pulpino",
+        n_gates=int(600 * scale),
+        n_flops=max(8, int(64 * scale)),
+        n_inputs=24,
+        n_outputs=24,
+        depth=30,
+        locality=0.90,
+    )
+
+
+def embedded_cpu_profile(scale: float = 1.0) -> DesignSpec:
+    """The embedded CPU whose floorplans form the doomed-run test set."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return DesignSpec(
+        name="embedded_cpu",
+        n_gates=int(900 * scale),
+        n_flops=max(8, int(96 * scale)),
+        n_inputs=32,
+        n_outputs=32,
+        depth=34,
+        locality=0.88,
+    )
+
+
+def artificial_profile(index: int = 0) -> DesignSpec:
+    """An "artificial layout": regular, shallow, datapath-like logic.
+
+    These play the role of the 1200 synthetic training layouts in the
+    paper's doomed-run table — structurally unlike the CPU test set.
+    ``index`` varies size and shape deterministically.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    sizes = (300, 400, 500, 600)
+    depths = (8, 10, 12)
+    return DesignSpec(
+        name=f"artificial_{index}",
+        n_gates=sizes[index % len(sizes)],
+        n_flops=32 + 8 * (index % 5),
+        n_inputs=16,
+        n_outputs=16,
+        depth=depths[index % len(depths)],
+        locality=0.6,
+        function_mix={  # datapath-heavy mix
+            "INV": 0.10,
+            "NAND2": 0.20,
+            "NOR2": 0.10,
+            "AND2": 0.12,
+            "OR2": 0.08,
+            "XOR2": 0.22,
+            "AOI21": 0.06,
+            "OAI21": 0.06,
+            "MUX2": 0.06,
+        },
+    )
+
+
+def _dsp_profile() -> DesignSpec:
+    return DesignSpec(
+        name="dsp", n_gates=700, n_flops=96, n_inputs=32, n_outputs=32,
+        depth=22, locality=0.8,
+        function_mix={
+            "INV": 0.08, "NAND2": 0.16, "NOR2": 0.08, "AND2": 0.12,
+            "OR2": 0.08, "XOR2": 0.28, "AOI21": 0.08, "OAI21": 0.06,
+            "MUX2": 0.06,
+        },
+    )
+
+
+def _noc_profile() -> DesignSpec:
+    return DesignSpec(
+        name="noc", n_gates=500, n_flops=128, n_inputs=64, n_outputs=64,
+        depth=12, locality=0.65,
+        function_mix={
+            "INV": 0.10, "NAND2": 0.18, "NOR2": 0.10, "AND2": 0.10,
+            "OR2": 0.08, "XOR2": 0.06, "AOI21": 0.10, "OAI21": 0.08,
+            "MUX2": 0.20,
+        },
+    )
+
+
+def _gpu_profile() -> DesignSpec:
+    return DesignSpec(
+        name="gpu_shader", n_gates=1000, n_flops=128, n_inputs=48,
+        n_outputs=48, depth=26, locality=0.85,
+    )
+
+
+def _phy_profile() -> DesignSpec:
+    return DesignSpec(
+        name="phy", n_gates=350, n_flops=80, n_inputs=24, n_outputs=24,
+        depth=10, locality=0.6,
+    )
+
+
+#: One representative profile per paper-suggested driver class.
+DRIVER_CLASSES: Dict[str, DesignSpec] = {
+    "CPU": embedded_cpu_profile(),
+    "MCU": pulpino_profile(),
+    "DSP": _dsp_profile(),
+    "NOC": _noc_profile(),
+    "GPU": _gpu_profile(),
+    "PHY": _phy_profile(),
+}
+
+
+def design_profile(name: str) -> DesignSpec:
+    """Look up a profile by design or driver-class name."""
+    by_name = {spec.name: spec for spec in DRIVER_CLASSES.values()}
+    if name in DRIVER_CLASSES:
+        return DRIVER_CLASSES[name]
+    if name in by_name:
+        return by_name[name]
+    raise KeyError(
+        f"unknown profile {name!r}; available: "
+        f"{sorted(DRIVER_CLASSES) + sorted(by_name)}"
+    )

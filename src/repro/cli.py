@@ -1,0 +1,182 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands wrap the library's main entry points so a downstream user
+can drive the substrate and the paper's experiments without writing
+Python:
+
+- ``repro flow`` — run the SP&R flow on a named design profile;
+- ``repro noise`` — the Fig 3 noise sweep;
+- ``repro doomed`` — train and evaluate the doomed-run strategy card;
+- ``repro mab`` — the Fig 7 bandit tuning loop;
+- ``repro cost`` — ITRS design-cost projections.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_flow(args) -> int:
+    from repro.bench.generators import design_profile
+    from repro.eda.flow import FlowOptions, SPRFlow
+    from repro.eda.io import write_def, write_verilog
+
+    spec = design_profile(args.design)
+    options = FlowOptions(
+        target_clock_ghz=args.target,
+        utilization=args.utilization,
+        synth_effort=args.effort,
+    )
+    result = SPRFlow().run(spec, options, seed=args.seed)
+    print(f"design={spec.name} target={args.target}GHz seed={args.seed}")
+    print(f"area={result.area:.1f}um2 power={result.power:.1f}uW "
+          f"wns={result.wns:.1f}ps drvs={result.final_drvs} "
+          f"achieved={result.achieved_ghz:.3f}GHz "
+          f"{'SUCCESS' if result.success else 'FAILED'}")
+    if args.verbose:
+        print(result.log_text())
+    if args.write_verilog or args.write_def:
+        # re-materialize the implementation for dumping
+        from repro.eda.floorplan import make_floorplan
+        from repro.eda.library import make_default_library
+        from repro.eda.placement import QuadraticPlacer
+        from repro.eda.synthesis import synthesize
+
+        netlist = synthesize(spec, make_default_library(), options.synth_effort, args.seed)
+        if args.write_verilog:
+            with open(args.write_verilog, "w") as fh:
+                fh.write(write_verilog(netlist))
+            print(f"wrote {args.write_verilog}")
+        if args.write_def:
+            floorplan = make_floorplan(netlist, options.utilization)
+            placement = QuadraticPlacer().place(netlist, floorplan, args.seed)
+            with open(args.write_def, "w") as fh:
+                fh.write(write_def(placement))
+            print(f"wrote {args.write_def}")
+    return 0 if result.success else 1
+
+
+def _cmd_noise(args) -> int:
+    from repro.bench.generators import design_profile
+    from repro.core.noise import NoiseCharacterization, noise_sweep
+
+    spec = design_profile(args.design)
+    targets = [float(t) for t in args.targets.split(",")]
+    sweep = noise_sweep(spec, targets, n_seeds=args.seeds)
+    noise = NoiseCharacterization(sweep)
+    print(f"{'target':>8} {'area_mean':>10} {'area_std':>9} {'success':>8}")
+    for target in sweep.targets:
+        print(f"{target:>8.2f} {sweep.areas(target).mean():>10.1f} "
+              f"{sweep.areas(target).std(ddof=1):>9.2f} "
+              f"{sweep.success_rate(target):>8.2f}")
+    print(f"noise growth ratio: {noise.noise_growth_ratio():.2f}", end="")
+    if args.seeds >= 8:  # the normality test needs a real sample
+        print(f"; gaussian fraction: {noise.gaussian_fraction():.2f}")
+    else:
+        print(" (>=8 seeds needed for the Gaussianity test)")
+    return 0
+
+
+def _cmd_doomed(args) -> int:
+    from repro.bench.corpus import RouterLogCorpus
+    from repro.core.doomed import MDPCardLearner, evaluate_policy
+
+    train = RouterLogCorpus.artificial(n=args.train, seed=args.seed)
+    test = RouterLogCorpus.cpu_floorplans(n=args.test, seed=args.seed + 1)
+    card = MDPCardLearner().fit(train)
+    print(f"train: {len(train)} logs (success rate {train.success_rate:.2f}); "
+          f"test: {len(test)} logs (success rate {test.success_rate:.2f})")
+    for k in (1, 2, 3):
+        print("  " + evaluate_policy(card, test, k).summary_row())
+    return 0
+
+
+def _cmd_mab(args) -> int:
+    from repro.bench.generators import design_profile
+    from repro.core.bandit import (
+        BatchBanditScheduler,
+        FlowArmEnvironment,
+        ThompsonSampling,
+    )
+
+    spec = design_profile(args.design)
+    frequencies = [float(f) for f in args.arms.split(",")]
+    env = FlowArmEnvironment(spec, frequencies, seed=args.seed,
+                             max_area=args.max_area, max_power=args.max_power)
+    policy = ThompsonSampling(env.n_arms, seed=args.seed + 1)
+    result = BatchBanditScheduler(args.iterations, args.concurrent).run(policy, env)
+    print(f"{result.n_successes}/{len(result.records)} successful runs")
+    best = int(policy.posterior_mean().argmax())
+    print(f"recommended target: {frequencies[best]:.2f} GHz")
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    from repro.core.costmodel import DesignCostModel
+
+    model = DesignCostModel()
+    cost = model.design_cost(args.year, dt_freeze_year=args.freeze)
+    label = f" (DT frozen at {args.freeze})" if args.freeze else ""
+    print(f"SOC-CP design cost in {args.year}{label}: ${cost / 1e6:,.1f}M")
+    print(f"engineer-months: {model.engineer_months(args.year, args.freeze):,.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kahng DAC-2018 reproduction: simulated SP&R flow + ML-for-EDA",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    flow = sub.add_parser("flow", help="run the SP&R flow on a design profile")
+    flow.add_argument("--design", default="pulpino")
+    flow.add_argument("--target", type=float, default=0.7, help="GHz")
+    flow.add_argument("--utilization", type=float, default=0.7)
+    flow.add_argument("--effort", type=float, default=0.5)
+    flow.add_argument("--seed", type=int, default=0)
+    flow.add_argument("--verbose", action="store_true")
+    flow.add_argument("--write-verilog", metavar="FILE")
+    flow.add_argument("--write-def", metavar="FILE")
+    flow.set_defaults(func=_cmd_flow)
+
+    noise = sub.add_parser("noise", help="Fig 3 noise sweep")
+    noise.add_argument("--design", default="pulpino")
+    noise.add_argument("--targets", default="0.5,0.65,0.78,0.9")
+    noise.add_argument("--seeds", type=int, default=10)
+    noise.set_defaults(func=_cmd_noise)
+
+    doomed = sub.add_parser("doomed", help="train/evaluate the strategy card")
+    doomed.add_argument("--train", type=int, default=600)
+    doomed.add_argument("--test", type=int, default=400)
+    doomed.add_argument("--seed", type=int, default=0)
+    doomed.set_defaults(func=_cmd_doomed)
+
+    mab = sub.add_parser("mab", help="Fig 7 bandit flow tuning")
+    mab.add_argument("--design", default="pulpino")
+    mab.add_argument("--arms", default="0.5,0.6,0.7,0.8,0.9")
+    mab.add_argument("--iterations", type=int, default=15)
+    mab.add_argument("--concurrent", type=int, default=5)
+    mab.add_argument("--max-area", type=float, default=None)
+    mab.add_argument("--max-power", type=float, default=None)
+    mab.add_argument("--seed", type=int, default=0)
+    mab.set_defaults(func=_cmd_mab)
+
+    cost = sub.add_parser("cost", help="ITRS design-cost projection")
+    cost.add_argument("--year", type=int, default=2028)
+    cost.add_argument("--freeze", type=int, default=None,
+                      help="drop DT innovations after this year")
+    cost.set_defaults(func=_cmd_cost)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

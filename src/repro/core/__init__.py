@@ -1,0 +1,20 @@
+"""The paper's contribution: ML-driven reduction of IC design time/effort.
+
+Subpackages map to the paper's sections:
+
+- :mod:`repro.core.bandit` — multi-armed-bandit tool-run scheduling with
+  no human in the loop (Sec 3.1, Fig 7).
+- :mod:`repro.core.doomed` — doomed-run prediction from logfile time
+  series via MDP policy iteration and HMMs (Sec 3.3, Figs 9-10 and the
+  Type-1/Type-2 error table).
+- :mod:`repro.core.correlation` — ML correction of analysis
+  miscorrelation between fast and signoff timers (Sec 3.2, Fig 8).
+- :mod:`repro.core.search` — go-with-the-winners and adaptive multistart
+  parallel search (Sec 2, Fig 6).
+- :mod:`repro.core.orchestration` — the tree of flow options, robot
+  engineers, and the four-stage ML-insertion ladder (Sec 2/3, Fig 5).
+- :mod:`repro.core.costmodel` — the ITRS design cost model and the
+  Design Capability Gap (Sec 2, Figs 1-2).
+- :mod:`repro.core.noise` — inherent tool-noise characterization and
+  guardband sizing (Sec 2, Fig 3).
+"""

@@ -1,0 +1,280 @@
+"""Bandit sampling policies.
+
+All policies share the interface: :meth:`select` proposes an arm index,
+:meth:`update` records an observed reward.  Rewards are expected in
+[0, 1] (the schedulers normalize).  Each policy owns its random
+generator so concurrent schedulers don't interfere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class BanditPolicy:
+    """Base class: per-arm counts and empirical means."""
+
+    name = "base"
+
+    def __init__(self, n_arms: int, seed: Optional[int] = None):
+        if n_arms < 1:
+            raise ValueError("need at least one arm")
+        self.n_arms = n_arms
+        self.counts = np.zeros(n_arms, dtype=int)
+        self.sums = np.zeros(n_arms)
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def means(self) -> np.ndarray:
+        """Empirical mean reward per arm (0 where unexplored)."""
+        safe = np.maximum(self.counts, 1)
+        return self.sums / safe
+
+    @property
+    def total_pulls(self) -> int:
+        return int(self.counts.sum())
+
+    def select(self) -> int:
+        raise NotImplementedError
+
+    def update(self, arm: int, reward: float) -> None:
+        if not 0 <= arm < self.n_arms:
+            raise IndexError(f"arm {arm} out of range")
+        if not 0.0 <= reward <= 1.0:
+            raise ValueError("rewards must be normalized to [0, 1]")
+        self.counts[arm] += 1
+        self.sums[arm] += reward
+        self._after_update(arm, reward)
+
+    def _after_update(self, arm: int, reward: float) -> None:
+        pass
+
+    def best_arm(self) -> int:
+        """Current exploit choice (highest empirical mean)."""
+        return int(np.argmax(self.means))
+
+
+class UniformRandom(BanditPolicy):
+    """Pure exploration baseline."""
+
+    name = "uniform"
+
+    def select(self) -> int:
+        return int(self.rng.integers(0, self.n_arms))
+
+
+class EpsilonGreedy(BanditPolicy):
+    """Exploit the best arm, explore uniformly with probability ε."""
+
+    name = "eps_greedy"
+
+    def __init__(self, n_arms: int, epsilon: float = 0.1, seed: Optional[int] = None):
+        super().__init__(n_arms, seed)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+
+    def select(self) -> int:
+        if self.rng.random() < self.epsilon or self.total_pulls == 0:
+            return int(self.rng.integers(0, self.n_arms))
+        return self.best_arm()
+
+
+class Softmax(BanditPolicy):
+    """Boltzmann exploration over empirical means."""
+
+    name = "softmax"
+
+    def __init__(self, n_arms: int, temperature: float = 0.1, seed: Optional[int] = None):
+        super().__init__(n_arms, seed)
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def select(self) -> int:
+        logits = self.means / self.temperature
+        logits -= logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        return int(self.rng.choice(self.n_arms, p=probs))
+
+
+class UCB1(BanditPolicy):
+    """Optimism in the face of uncertainty (Auer et al. bound)."""
+
+    name = "ucb1"
+
+    def select(self) -> int:
+        unexplored = np.nonzero(self.counts == 0)[0]
+        if unexplored.size:
+            return int(unexplored[0])
+        t = self.total_pulls
+        bonus = np.sqrt(2.0 * np.log(t) / self.counts)
+        return int(np.argmax(self.means + bonus))
+
+
+class ThompsonSampling(BanditPolicy):
+    """Beta-Bernoulli Thompson Sampling (paper refs [38][33][40]).
+
+    Continuous rewards in [0, 1] are handled with the standard
+    Bernoulli-sampling trick: each observed reward r updates the Beta
+    posterior with a Bernoulli(r) draw, preserving the posterior mean.
+    """
+
+    name = "thompson"
+
+    def __init__(self, n_arms: int, seed: Optional[int] = None, prior: float = 1.0):
+        super().__init__(n_arms, seed)
+        if prior <= 0:
+            raise ValueError("prior pseudo-counts must be positive")
+        self.alpha = np.full(n_arms, prior)
+        self.beta = np.full(n_arms, prior)
+
+    def select(self) -> int:
+        samples = self.rng.beta(self.alpha, self.beta)
+        return int(np.argmax(samples))
+
+    def _after_update(self, arm: int, reward: float) -> None:
+        if self.rng.random() < reward:
+            self.alpha[arm] += 1.0
+        else:
+            self.beta[arm] += 1.0
+
+    def posterior_mean(self) -> np.ndarray:
+        return self.alpha / (self.alpha + self.beta)
+
+
+class BayesUCB(BanditPolicy):
+    """Bayes-UCB (Kaufmann et al.): play the arm with the highest
+    posterior quantile; the quantile tightens as 1 - 1/t.
+
+    A principled optimism alternative to UCB1 that shares Thompson's
+    Beta posterior (continuous rewards via the Bernoulli trick).
+    """
+
+    name = "bayes_ucb"
+
+    def __init__(self, n_arms: int, seed: Optional[int] = None, prior: float = 1.0):
+        super().__init__(n_arms, seed)
+        if prior <= 0:
+            raise ValueError("prior pseudo-counts must be positive")
+        self.alpha = np.full(n_arms, prior)
+        self.beta = np.full(n_arms, prior)
+
+    def select(self) -> int:
+        t = max(2, self.total_pulls + 1)
+        quantile = 1.0 - 1.0 / t
+        scores = _beta_quantile(self.alpha, self.beta, quantile)
+        return int(np.argmax(scores))
+
+    def _after_update(self, arm: int, reward: float) -> None:
+        if self.rng.random() < reward:
+            self.alpha[arm] += 1.0
+        else:
+            self.beta[arm] += 1.0
+
+
+def _beta_quantile(alpha: np.ndarray, beta: np.ndarray, q: float) -> np.ndarray:
+    """Approximate Beta quantile via the Wilson-Hilferty normal method.
+
+    Adequate for ranking arms (we only need the argmax, not the exact
+    value); clipped to [0, 1].
+    """
+    mean = alpha / (alpha + beta)
+    var = alpha * beta / ((alpha + beta) ** 2 * (alpha + beta + 1.0))
+    # normal quantile via Acklam-lite rational approximation at point q
+    z = _norm_ppf(q)
+    return np.clip(mean + z * np.sqrt(var), 0.0, 1.0)
+
+
+def _norm_ppf(q: float) -> float:
+    """Standard normal quantile (Beasley-Springer-Moro)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if q < p_low:
+        u = np.sqrt(-2.0 * np.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0
+        )
+    if q > 1.0 - p_low:
+        return -_norm_ppf(1.0 - q)
+    u = q - 0.5
+    r = u * u
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+class SlidingWindowThompson(BanditPolicy):
+    """Thompson Sampling over a sliding window of recent rewards.
+
+    Tool and flow behaviour is *non-stationary* — a tool-version update
+    or a library refresh changes every arm's reward distribution.  The
+    posterior here is rebuilt from only the last ``window`` pulls per
+    arm, so the policy re-adapts after a regime change instead of being
+    anchored to stale evidence.
+    """
+
+    name = "sw_thompson"
+
+    def __init__(self, n_arms: int, window: int = 40, seed: Optional[int] = None):
+        super().__init__(n_arms, seed)
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self._recent: list = []  # (arm, bernoulli outcome) pairs
+
+    def select(self) -> int:
+        alpha = np.ones(self.n_arms)
+        beta = np.ones(self.n_arms)
+        for arm, outcome in self._recent:
+            if outcome:
+                alpha[arm] += 1.0
+            else:
+                beta[arm] += 1.0
+        samples = self.rng.beta(alpha, beta)
+        return int(np.argmax(samples))
+
+    def _after_update(self, arm: int, reward: float) -> None:
+        outcome = self.rng.random() < reward
+        self._recent.append((arm, outcome))
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+
+
+class GaussianThompsonSampling(BanditPolicy):
+    """Thompson Sampling with a Normal posterior over each arm's mean.
+
+    Known-variance model: posterior mean is the empirical mean, the
+    posterior std shrinks as 1/sqrt(n).  Suits continuous QoR rewards.
+    """
+
+    name = "gauss_thompson"
+
+    def __init__(
+        self, n_arms: int, obs_std: float = 0.25, seed: Optional[int] = None
+    ):
+        super().__init__(n_arms, seed)
+        if obs_std <= 0:
+            raise ValueError("obs_std must be positive")
+        self.obs_std = obs_std
+
+    def select(self) -> int:
+        n = np.maximum(self.counts, 1)
+        std = self.obs_std / np.sqrt(n)
+        # unexplored arms keep a broad prior centered at 0.5
+        mean = np.where(self.counts > 0, self.means, 0.5)
+        std = np.where(self.counts > 0, std, self.obs_std * 2)
+        samples = self.rng.normal(mean, std)
+        return int(np.argmax(samples))

@@ -1,0 +1,39 @@
+"""ML for analysis miscorrelation (paper Sec 3.2, Fig 8).
+
+Two timers disagree on the same design; the divergence forces
+guardbands, and guardbands force unneeded sizing work.  This package
+builds endpoint-level datasets from paired GraphSTA/SignoffSTA runs,
+learns correction models (the "SI for free" / "golden signoff
+proliferation" idea of papers [14][27]), quantifies the guardband
+reduction, and reproduces the accuracy-cost curve.  The two near-term
+extensions the paper cites from [20] are included: GBA→PBA prediction
+and missing-corner prediction.
+"""
+
+from repro.core.correlation.dataset import (
+    CorrelationDataset,
+    build_correlation_dataset,
+    build_corner_dataset,
+    build_gba_pba_dataset,
+)
+from repro.core.correlation.models import MiscorrelationModel
+from repro.core.correlation.miscorrelation import (
+    AccuracyCostPoint,
+    accuracy_cost_curve,
+    guardband_for,
+    guardband_optimization_cost,
+    miscorrelation_stats,
+)
+
+__all__ = [
+    "CorrelationDataset",
+    "build_correlation_dataset",
+    "build_corner_dataset",
+    "build_gba_pba_dataset",
+    "MiscorrelationModel",
+    "AccuracyCostPoint",
+    "accuracy_cost_curve",
+    "guardband_for",
+    "guardband_optimization_cost",
+    "miscorrelation_stats",
+]

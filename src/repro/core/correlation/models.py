@@ -1,0 +1,75 @@
+"""Correction models: learn the golden analysis from the cheap one.
+
+Following the paper's ref [14] (deep-learning "golden signoff timing
+proliferation"), the model predicts the *divergence* (golden minus
+cheap slack) from endpoint features, then adds it back to the cheap
+slack.  Predicting the delta rather than the absolute slack makes the
+cheap engine's own information free and the learning problem small —
+appropriate for the "small data" regime the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.correlation.dataset import CorrelationDataset
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.metrics import mean_absolute_error, root_mean_squared_error
+from repro.ml.scaling import StandardScaler
+
+
+class MiscorrelationModel:
+    """Predict golden endpoint slack from cheap analysis features.
+
+    ``kind`` selects the regressor: "ridge" (linear, fast, the default)
+    or "gbm" (gradient-boosted trees, for nonlinear divergence).
+    """
+
+    def __init__(self, kind: str = "ridge", seed: Optional[int] = None):
+        if kind not in ("ridge", "gbm"):
+            raise ValueError("kind must be 'ridge' or 'gbm'")
+        self.kind = kind
+        self.seed = seed
+        self.scaler = StandardScaler()
+        self._model = None
+
+    def _make_model(self):
+        if self.kind == "ridge":
+            return RidgeRegression(alpha=1.0)
+        return GradientBoostingRegressor(
+            n_estimators=60, learning_rate=0.15, max_depth=3, random_state=self.seed
+        )
+
+    def fit(self, dataset: CorrelationDataset) -> "MiscorrelationModel":
+        X = self._design_matrix(dataset, fit=True)
+        delta = dataset.divergence
+        self._model = self._make_model()
+        self._model.fit(X, delta)
+        return self
+
+    def predict_golden(self, dataset: CorrelationDataset) -> np.ndarray:
+        """Corrected slack: cheap slack plus the predicted divergence."""
+        if self._model is None:
+            raise RuntimeError("model is not fitted")
+        X = self._design_matrix(dataset, fit=False)
+        return dataset.cheap_slack + self._model.predict(X)
+
+    def _design_matrix(self, dataset: CorrelationDataset, fit: bool) -> np.ndarray:
+        X = np.hstack([dataset.X, dataset.cheap_slack[:, None]])
+        if fit:
+            return self.scaler.fit_transform(X)
+        return self.scaler.transform(X)
+
+    # ------------------------------------------------------------------
+    def report(self, dataset: CorrelationDataset) -> dict:
+        """Error of raw-cheap vs ML-corrected slack against golden."""
+        corrected = self.predict_golden(dataset)
+        return {
+            "raw_mae": mean_absolute_error(dataset.golden_slack, dataset.cheap_slack),
+            "raw_rmse": root_mean_squared_error(dataset.golden_slack, dataset.cheap_slack),
+            "ml_mae": mean_absolute_error(dataset.golden_slack, corrected),
+            "ml_rmse": root_mean_squared_error(dataset.golden_slack, corrected),
+        }

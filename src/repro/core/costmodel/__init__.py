@@ -1,0 +1,26 @@
+"""Design economics models (paper Sec 2, Challenge 1, Figs 1-2, 4).
+
+- :mod:`itrs` — the ITRS Design Cost Model: transistors-per-chip
+  scaling, design productivity with a DT-innovation timeline, and
+  SOC-CP cost projections.  Calibrated to the paper's footnote 1
+  anchors ($45.4M in 2013 with DT; $3.4B in 2028 without post-2013 DT;
+  ~$1B in 2013 / ~$70B in 2028 without post-2000 DT).
+- :mod:`capability_gap` — the Design Capability Gap of Fig 1: available
+  vs realized transistor density.
+- :mod:`coevolution` — a quantitative rendering of Fig 4's feedback
+  loops: today's local minimum of tool/methodology coevolution vs the
+  "flip the arrows" future regime.
+"""
+
+from repro.core.costmodel.itrs import DesignCostModel, DTInnovation, ITRS_INNOVATIONS
+from repro.core.costmodel.capability_gap import CapabilityGapModel
+from repro.core.costmodel.coevolution import CoevolutionModel, RegimeState
+
+__all__ = [
+    "DesignCostModel",
+    "DTInnovation",
+    "ITRS_INNOVATIONS",
+    "CapabilityGapModel",
+    "CoevolutionModel",
+    "RegimeState",
+]

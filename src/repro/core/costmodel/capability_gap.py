@@ -1,0 +1,80 @@
+"""The Design Capability Gap (paper Fig 1, refs [41][17]).
+
+"A NEW IC DESIGN GAP: available density scaling vs. realized density
+scaling.  Non-ideal A-factor -> larger cells, wires for reliability.
+Uncore in architecture -> small, distributed functions."
+
+Available density follows the process roadmap (2x per node).  Realized
+density is degraded by two compounding factors the figure calls out:
+the layout A-factor (cells and wires grow relative to ideal scaling for
+reliability/variability) and the growing uncore fraction (distributed
+small functions that place-and-route at lower density).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass
+class CapabilityGapModel:
+    """Available vs realized transistor density, 1995 onward."""
+
+    base_year: int = 1995
+    base_density: float = 1.0e5  # transistors / mm^2 at base year
+    density_doubling_years: float = 2.0
+    # A-factor degradation: grows after the degradation onset year
+    afactor_onset: int = 2005
+    afactor_growth: float = 1.045  # per year after onset
+    # uncore fraction: rises toward a ceiling
+    uncore_base: float = 0.15
+    uncore_ceiling: float = 0.55
+    uncore_rate: float = 0.05  # approach rate per year after onset
+    uncore_density_penalty: float = 0.55  # uncore places at this relative density
+
+    def available_density(self, year: int) -> float:
+        """Process-roadmap density (what the node offers)."""
+        self._check_year(year)
+        dt = year - self.base_year
+        return self.base_density * 2.0 ** (dt / self.density_doubling_years)
+
+    def afactor(self, year: int) -> float:
+        """Layout area inflation factor (1.0 = ideal scaling)."""
+        self._check_year(year)
+        excess = max(0, year - self.afactor_onset)
+        return self.afactor_growth ** excess
+
+    def uncore_fraction(self, year: int) -> float:
+        """Share of the die that is uncore (distributed small functions)."""
+        self._check_year(year)
+        excess = max(0, year - self.afactor_onset)
+        return self.uncore_ceiling - (self.uncore_ceiling - self.uncore_base) * np.exp(
+            -self.uncore_rate * excess
+        )
+
+    def realized_density(self, year: int) -> float:
+        """Density a design team actually achieves."""
+        available = self.available_density(year)
+        uncore = self.uncore_fraction(year)
+        effective = (1.0 - uncore) + uncore * self.uncore_density_penalty
+        return available * effective / self.afactor(year)
+
+    def gap(self, year: int) -> float:
+        """Available / realized density ratio (1.0 = no gap, grows over time)."""
+        return self.available_density(year) / self.realized_density(year)
+
+    def figure1_series(self, years: Sequence[int]) -> Dict[str, np.ndarray]:
+        years_arr = np.asarray(list(years), dtype=int)
+        return {
+            "year": years_arr,
+            "available": np.array([self.available_density(y) for y in years_arr]),
+            "realized": np.array([self.realized_density(y) for y in years_arr]),
+            "gap": np.array([self.gap(y) for y in years_arr]),
+        }
+
+    def _check_year(self, year: int) -> None:
+        if year < self.base_year:
+            raise ValueError(f"year {year} precedes the model base year {self.base_year}")

@@ -1,0 +1,103 @@
+"""A quantitative rendering of Fig 4's coevolution loops.
+
+Fig 4(a) ("SOC design: today"): designers demand more tool flexibility;
+flexibility reduces predictability; unpredictability inflates margins
+and turnaround time; quality falls; falling quality feeds the demand
+for yet more flexibility — a local minimum.
+
+Fig 4(b) ("SOC design: future"): the flow is decomposed into more
+partitions and designers accept "freedoms from choice" (less
+flexibility); predictability rises; margins and iterations fall
+(single-pass design); achieved quality rises.
+
+The model is a discrete dynamical system over
+(flexibility, predictability, margin, quality) in [0, 1] with the
+figure's arrows as coupling terms.  It is intentionally qualitative —
+the *fixed points* and their ordering are the reproduction target, not
+any absolute number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class RegimeState:
+    """One step of the coevolution dynamics."""
+
+    flexibility: float
+    predictability: float
+    margin: float
+    quality: float
+
+    def clamped(self) -> "RegimeState":
+        clamp = lambda v: min(1.0, max(0.0, v))  # noqa: E731
+        return RegimeState(
+            clamp(self.flexibility),
+            clamp(self.predictability),
+            clamp(self.margin),
+            clamp(self.quality),
+        )
+
+
+@dataclass
+class CoevolutionModel:
+    """Iterate the Fig 4 feedback loops in one of two regimes.
+
+    ``regime`` is "today" (flexibility demanded when quality drops) or
+    "future" (partitioning + freedoms-from-choice hold flexibility
+    down).  ``partitions`` only matters in the future regime, where
+    more/smaller subproblems raise predictability ("smaller subproblems
+    can be better-solved").
+    """
+
+    regime: str = "today"
+    partitions: float = 1.0
+    step_size: float = 0.3
+
+    def __post_init__(self):
+        if self.regime not in ("today", "future"):
+            raise ValueError("regime must be 'today' or 'future'")
+        if self.partitions < 1.0:
+            raise ValueError("partitions must be >= 1")
+        if not 0.0 < self.step_size <= 1.0:
+            raise ValueError("step_size must be in (0, 1]")
+
+    def step(self, s: RegimeState) -> RegimeState:
+        a = self.step_size
+        # predictability falls with flexibility, rises with partitioning
+        partition_boost = 0.25 * min(1.0, (self.partitions - 1.0) / 16.0)
+        pred_target = 0.9 - 0.7 * s.flexibility + partition_boost
+        # margins track unpredictability
+        margin_target = 0.15 + 0.75 * (1.0 - s.predictability)
+        # quality falls with margins (guardbands eat the PPA budget)
+        quality_target = 0.95 - 0.8 * s.margin
+        if self.regime == "today":
+            # designers respond to poor quality by demanding flexibility
+            flex_target = 0.35 + 0.6 * (1.0 - s.quality)
+        else:
+            # "freedoms from choice": flexibility is capped by methodology
+            flex_target = 0.2
+        blend = lambda cur, tgt: cur + a * (tgt - cur)  # noqa: E731
+        return RegimeState(
+            flexibility=blend(s.flexibility, flex_target),
+            predictability=blend(s.predictability, pred_target),
+            margin=blend(s.margin, margin_target),
+            quality=blend(s.quality, quality_target),
+        ).clamped()
+
+    def run(self, n_steps: int = 60, initial: RegimeState = None) -> List[RegimeState]:
+        """Iterate to (near) the regime's fixed point; returns the path."""
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        state = initial or RegimeState(0.5, 0.5, 0.5, 0.5)
+        path = [state]
+        for _ in range(n_steps):
+            state = self.step(state)
+            path.append(state)
+        return path
+
+    def fixed_point(self, n_steps: int = 200) -> RegimeState:
+        return self.run(n_steps)[-1]

@@ -1,0 +1,140 @@
+"""The ITRS Design Cost Model (paper refs [31][39][41], Fig 2).
+
+Structure (following Kahng-Smith, ISQED 2002): the cost of designing
+the consumer-portable SOC driver (SOC-CP) is
+
+    cost(year) = transistors(year) / productivity(year)
+                 * cost_per_engineer_month(year)
+
+- ``transistors`` doubles every two years (the roadmap's demand side);
+- ``productivity`` (transistors per engineer-month) has a small
+  intrinsic growth plus step multipliers from design-technology (DT)
+  innovations when they are delivered;
+- cost per engineer-month (salary + tools + infrastructure) grows
+  slowly.
+
+The paper's footnote 1 pins four calibration anchors: with the full DT
+timeline the 2013 SOC-CP cost is ~$45.4M; freezing DT at 2013 grows it
+to ~$3.4B by 2028; freezing DT at 2000 yields ~$1B in 2013 and ~$70B in
+2028.  The default parameters hit all four within a small factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DTInnovation:
+    """One design-technology advance in the roadmap timeline."""
+
+    year: int
+    name: str
+    productivity_multiplier: float
+
+    def __post_init__(self):
+        if self.productivity_multiplier <= 1.0:
+            raise ValueError("an innovation must improve productivity (> 1x)")
+
+
+#: The DT timeline, in the spirit of the 2001/2013 ITRS cost chapters.
+ITRS_INNOVATIONS: List[DTInnovation] = [
+    DTInnovation(1993, "In-house place & route", 3.0),
+    DTInnovation(1997, "Small-block reuse + synthesis", 3.0),
+    DTInnovation(1999, "Large-block reuse / IP", 3.2),
+    DTInnovation(2005, "RTL methodology + silicon virtual prototype", 2.8),
+    DTInnovation(2009, "ES-level design automation", 2.8),
+    DTInnovation(2013, "Concurrent SW / many-core methodology", 2.8),
+    DTInnovation(2017, "Hardening + platform reuse", 3.2),
+    DTInnovation(2021, "ML-assisted implementation", 3.2),
+    DTInnovation(2025, "No-human-in-the-loop flows", 3.2),
+]
+
+
+@dataclass
+class DesignCostModel:
+    """SOC-CP design cost projection with a configurable DT timeline."""
+
+    base_year: int = 1985
+    base_transistors: float = 5.0e5  # SOC-CP logic transistors at base year
+    transistor_doubling_years: float = 2.0
+    base_productivity: float = 1.43e3  # transistors per engineer-month
+    intrinsic_productivity_growth: float = 1.0816  # per year, non-DT
+    cost_per_engineer_month: float = 26_000.0  # USD: salary+tools+infra
+    engineer_cost_growth: float = 1.02  # per year
+    verification_fraction: float = 0.45  # share of effort in verification
+    innovations: List[DTInnovation] = field(default_factory=lambda: list(ITRS_INNOVATIONS))
+
+    def transistors(self, year: int) -> float:
+        """SOC-CP transistor demand in ``year``."""
+        self._check_year(year)
+        dt = year - self.base_year
+        return self.base_transistors * 2.0 ** (dt / self.transistor_doubling_years)
+
+    def productivity(self, year: int, dt_freeze_year: Optional[int] = None) -> float:
+        """Transistors per engineer-month in ``year``.
+
+        ``dt_freeze_year`` drops every innovation introduced after that
+        year (the counterfactual in the paper's footnote 1).
+        """
+        self._check_year(year)
+        value = self.base_productivity * self.intrinsic_productivity_growth ** (
+            year - self.base_year
+        )
+        for innovation in self.innovations:
+            if innovation.year > year:
+                continue
+            if dt_freeze_year is not None and innovation.year > dt_freeze_year:
+                continue
+            value *= innovation.productivity_multiplier
+        return value
+
+    def engineer_months(self, year: int, dt_freeze_year: Optional[int] = None) -> float:
+        return self.transistors(year) / self.productivity(year, dt_freeze_year)
+
+    def design_cost(self, year: int, dt_freeze_year: Optional[int] = None) -> float:
+        """Total SOC-CP design cost (USD) in ``year``."""
+        months = self.engineer_months(year, dt_freeze_year)
+        unit = self.cost_per_engineer_month * self.engineer_cost_growth ** (
+            year - self.base_year
+        )
+        return months * unit
+
+    def verification_cost(self, year: int, dt_freeze_year: Optional[int] = None) -> float:
+        return self.design_cost(year, dt_freeze_year) * self.verification_fraction
+
+    # ------------------------------------------------------------------
+    def figure2_series(self, years: Sequence[int]) -> Dict[str, np.ndarray]:
+        """The Fig 2 curves: transistor count, design cost, verification
+        cost, and the no-DT counterfactual cost."""
+        years_arr = np.asarray(list(years), dtype=int)
+        return {
+            "year": years_arr,
+            "transistors": np.array([self.transistors(y) for y in years_arr]),
+            "design_cost": np.array([self.design_cost(y) for y in years_arr]),
+            "verification_cost": np.array(
+                [self.verification_cost(y) for y in years_arr]
+            ),
+            "cost_frozen_2000": np.array(
+                [self.design_cost(y, dt_freeze_year=2000) for y in years_arr]
+            ),
+            "cost_frozen_2013": np.array(
+                [self.design_cost(y, dt_freeze_year=2013) for y in years_arr]
+            ),
+        }
+
+    def footnote1_anchors(self) -> Dict[str, float]:
+        """The four calibration anchors from the paper's footnote 1."""
+        return {
+            "cost_2013_with_dt": self.design_cost(2013),
+            "cost_2013_frozen_2000": self.design_cost(2013, dt_freeze_year=2000),
+            "cost_2028_frozen_2013": self.design_cost(2028, dt_freeze_year=2013),
+            "cost_2028_frozen_2000": self.design_cost(2028, dt_freeze_year=2000),
+        }
+
+    def _check_year(self, year: int) -> None:
+        if year < self.base_year:
+            raise ValueError(f"year {year} precedes the model base year {self.base_year}")

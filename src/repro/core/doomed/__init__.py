@@ -1,0 +1,36 @@
+"""Doomed-run prediction (paper Sec 3.3, Figs 9-10 and the error table).
+
+Tool logfiles are time series of per-iteration DRV counts.  The
+predictor bins each observation into (violation bin, slope bin) states,
+learns GO/STOP values by policy iteration over an MDP estimated from a
+training corpus, fills unobserved states with the paper's footnote-5
+rules, and stops a live run only after k consecutive STOP signals.
+An HMM-based predictor (the paper's alternative, ref [36]) is also
+provided.
+"""
+
+from repro.core.doomed.features import StateSpace, bin_slope, bin_violations
+from repro.core.doomed.card import StrategyCard, GO, STOP
+from repro.core.doomed.mdp_policy import MDPCardLearner
+from repro.core.doomed.evaluate import (
+    DoomedEvaluation,
+    evaluate_policy,
+    make_stop_callback,
+)
+from repro.core.doomed.hmm_predictor import HMMDoomPredictor
+from repro.core.doomed.logistic_baseline import LogisticDoomBaseline
+
+__all__ = [
+    "LogisticDoomBaseline",
+    "StateSpace",
+    "bin_violations",
+    "bin_slope",
+    "StrategyCard",
+    "GO",
+    "STOP",
+    "MDPCardLearner",
+    "DoomedEvaluation",
+    "evaluate_policy",
+    "make_stop_callback",
+    "HMMDoomPredictor",
+]

@@ -1,0 +1,87 @@
+"""Logfile featurization: the (violation bin, slope bin) state space.
+
+Per the paper's Fig 10: "the x- and y-axes represent binned violations
+at time t, and change in DRVs since previous iteration, respectively."
+Violation counts span orders of magnitude, so both axes bin
+logarithmically; the slope axis is signed (negative = DRVs shrinking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def bin_violations(v: float, n_bins: int = 19) -> int:
+    """Log2 bin of a DRV count: 0 -> 0, 1 -> 1, 2-3 -> 2, 4-7 -> 3, ...
+
+    Capped at ``n_bins - 1`` (the Fig 10 x-axis runs to ~18, i.e. DRV
+    counts past 10^5).
+    """
+    if v < 0:
+        raise ValueError("violation count cannot be negative")
+    if v == 0:
+        return 0
+    return min(n_bins - 1, int(np.log2(v)) + 1)
+
+
+def bin_slope(delta: float, max_down: int = 12, max_up: int = 4) -> int:
+    """Signed log2 bin of the DRV change since the previous iteration.
+
+    Negative bins mean DRVs decreased (Fig 10's y-axis runs from about
+    -10 to +1: healthy runs live deep in the negative half).
+    """
+    if delta == 0:
+        return 0
+    magnitude = int(np.log2(abs(delta))) + 1
+    if delta < 0:
+        return -min(max_down, magnitude)
+    return min(max_up, magnitude)
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """Index arithmetic over the (violation bin, slope bin) grid."""
+
+    n_violation_bins: int = 19
+    max_down: int = 12
+    max_up: int = 4
+
+    def __post_init__(self):
+        if self.n_violation_bins < 2:
+            raise ValueError("need at least 2 violation bins")
+        if self.max_down < 1 or self.max_up < 1:
+            raise ValueError("slope bin ranges must be >= 1")
+
+    @property
+    def n_slope_bins(self) -> int:
+        return self.max_down + self.max_up + 1
+
+    @property
+    def n_states(self) -> int:
+        return self.n_violation_bins * self.n_slope_bins
+
+    def state_of(self, violations: float, delta: float) -> int:
+        """Flat state index for one observation."""
+        vb = bin_violations(violations, self.n_violation_bins)
+        sb = bin_slope(delta, self.max_down, self.max_up)
+        return vb * self.n_slope_bins + (sb + self.max_down)
+
+    def unpack(self, state: int) -> Tuple[int, int]:
+        """(violation bin, slope bin) of a flat state index."""
+        if not 0 <= state < self.n_states:
+            raise IndexError(f"state {state} out of range")
+        vb, offset = divmod(state, self.n_slope_bins)
+        return vb, offset - self.max_down
+
+    def trajectory_states(self, drvs: List[int]) -> List[int]:
+        """States of a DRV series, one per iteration from t=1 on
+        (t=0 has no slope yet)."""
+        if len(drvs) < 2:
+            return []
+        return [
+            self.state_of(drvs[t], drvs[t] - drvs[t - 1])
+            for t in range(1, len(drvs))
+        ]

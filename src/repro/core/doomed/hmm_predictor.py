@@ -1,0 +1,107 @@
+"""HMM-based doomed-run prediction (the paper's ref [36] alternative).
+
+Two discrete HMMs are trained — one on successful runs, one on failed
+runs — over the violation-bin symbol alphabet.  A live run's prefix is
+classified by log-likelihood ratio; a STOP is signalled when the fail
+model dominates by a margin, and (like the MDP card) termination can
+require several consecutive STOPs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bench.corpus import RouterLog
+from repro.core.doomed.features import bin_violations
+from repro.ml.hmm import DiscreteHMM
+
+
+class HMMDoomPredictor:
+    """Likelihood-ratio doom classifier over DRV-bin sequences."""
+
+    def __init__(
+        self,
+        n_states: int = 3,
+        n_bins: int = 19,
+        margin: float = 2.0,
+        min_prefix: int = 3,
+        seed: Optional[int] = None,
+    ):
+        """``margin`` is the log-likelihood-ratio threshold (nats) the
+        fail model must win by; ``min_prefix`` avoids judging a run on
+        its first couple of iterations."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        if min_prefix < 2:
+            raise ValueError("min_prefix must be >= 2 (need a slope)")
+        self.n_bins = n_bins
+        self.margin = margin
+        self.min_prefix = min_prefix
+        self.model_success = DiscreteHMM(n_states, n_bins, random_state=seed)
+        self.model_fail = DiscreteHMM(n_states, n_bins, random_state=None if seed is None else seed + 1)
+        self._fitted = False
+
+    def _symbols(self, drvs) -> List[int]:
+        return [bin_violations(v, self.n_bins) for v in drvs]
+
+    def fit(self, logs: Iterable[RouterLog]) -> "HMMDoomPredictor":
+        good = []
+        bad = []
+        for log in logs:
+            (good if log.success else bad).append(self._symbols(log.drvs))
+        if not good or not bad:
+            raise ValueError("training corpus needs both successful and failed runs")
+        self.model_success.fit(good)
+        self.model_fail.fit(bad)
+        self._fitted = True
+        return self
+
+    def doom_score(self, drvs) -> float:
+        """Log-likelihood margin of the fail model on a DRV prefix
+        (positive = looks doomed)."""
+        if not self._fitted:
+            raise RuntimeError("predictor is not fitted")
+        symbols = self._symbols(drvs)
+        return self.model_fail.score(symbols) - self.model_success.score(symbols)
+
+    def stop_iteration(self, drvs, consecutive: int = 1) -> Optional[int]:
+        """First iteration at which the predictor would stop the run."""
+        if consecutive < 1:
+            raise ValueError("consecutive must be >= 1")
+        streak = 0
+        for t in range(self.min_prefix, len(drvs)):
+            if self.doom_score(drvs[: t + 1]) > self.margin:
+                streak += 1
+                if streak >= consecutive:
+                    return t
+            else:
+                streak = 0
+        return None
+
+    def evaluate(self, logs: Iterable[RouterLog], consecutive: int = 1):
+        """Type-1/Type-2 accounting, mirroring the MDP evaluation."""
+        from repro.core.doomed.evaluate import DoomedEvaluation
+
+        n = type1 = type2 = correct = saved = 0
+        for log in logs:
+            n += 1
+            stop_at = self.stop_iteration(log.drvs, consecutive)
+            if stop_at is not None:
+                if log.success:
+                    type1 += 1
+                else:
+                    correct += 1
+                    saved += (len(log.drvs) - 1) - stop_at
+            else:
+                if not log.success:
+                    type2 += 1
+        if n == 0:
+            raise ValueError("evaluation corpus is empty")
+        return DoomedEvaluation(
+            n_logs=n,
+            type1_errors=type1,
+            type2_errors=type2,
+            correct_stops=correct,
+            iterations_saved=saved,
+            consecutive_stops_required=consecutive,
+        )

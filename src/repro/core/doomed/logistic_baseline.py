@@ -1,0 +1,106 @@
+"""Logistic-regression doomed-run baseline.
+
+A sanity baseline for the MDP/HMM predictors: classify each in-flight
+(iteration, DRV, slope) observation with plain logistic regression on
+simple features, and stop on consecutive doom flags.  If the MDP card
+cannot beat this, the sequential modeling is not earning its keep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.bench.corpus import RouterLog
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaling import StandardScaler
+
+
+def _features(drvs, t: int) -> List[float]:
+    current = drvs[t]
+    previous = drvs[t - 1]
+    delta = current - previous
+    return [
+        float(t),
+        np.log1p(max(0.0, current)),
+        np.sign(delta) * np.log1p(abs(delta)),
+        np.log1p(max(0.0, drvs[0])),
+        current / max(1.0, drvs[0]),
+    ]
+
+
+class LogisticDoomBaseline:
+    """Per-observation doom classifier with consecutive-stop filtering."""
+
+    def __init__(self, threshold: float = 0.75, seed: Optional[int] = None):
+        """``threshold``: P(doomed) above which an observation flags STOP."""
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.threshold = threshold
+        self.scaler = StandardScaler()
+        self.model = LogisticRegression(alpha=1e-2)
+        self._fitted = False
+
+    def fit(self, logs: Iterable[RouterLog]) -> "LogisticDoomBaseline":
+        rows, labels = [], []
+        for log in logs:
+            doomed = 0 if log.success else 1
+            for t in range(1, len(log.drvs)):
+                rows.append(_features(log.drvs, t))
+                labels.append(doomed)
+        if not rows:
+            raise ValueError("training corpus is empty")
+        if len(set(labels)) < 2:
+            raise ValueError("corpus needs both successful and failed runs")
+        X = self.scaler.fit_transform(np.array(rows))
+        self.model.fit(X, np.array(labels))
+        self._fitted = True
+        return self
+
+    def doom_probability(self, drvs, t: int) -> float:
+        if not self._fitted:
+            raise RuntimeError("baseline is not fitted")
+        X = self.scaler.transform(np.array([_features(drvs, t)]))
+        return float(self.model.predict_proba(X)[0])
+
+    def stop_iteration(self, drvs, consecutive: int = 1) -> Optional[int]:
+        if consecutive < 1:
+            raise ValueError("consecutive must be >= 1")
+        streak = 0
+        for t in range(1, len(drvs)):
+            if self.doom_probability(drvs, t) > self.threshold:
+                streak += 1
+                if streak >= consecutive:
+                    return t
+            else:
+                streak = 0
+        return None
+
+    def evaluate(self, logs: Iterable[RouterLog], consecutive: int = 1):
+        """Type-1/Type-2 accounting, mirroring the MDP evaluation."""
+        from repro.core.doomed.evaluate import DoomedEvaluation
+
+        n = type1 = type2 = correct = saved = 0
+        for log in logs:
+            n += 1
+            stop_at = self.stop_iteration(log.drvs, consecutive)
+            if stop_at is not None:
+                if log.success:
+                    type1 += 1
+                else:
+                    correct += 1
+                    saved += (len(log.drvs) - 1) - stop_at
+            else:
+                if not log.success:
+                    type2 += 1
+        if n == 0:
+            raise ValueError("evaluation corpus is empty")
+        return DoomedEvaluation(
+            n_logs=n,
+            type1_errors=type1,
+            type2_errors=type2,
+            correct_stops=correct,
+            iterations_saved=saved,
+            consecutive_stops_required=consecutive,
+        )

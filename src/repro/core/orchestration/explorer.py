@@ -1,0 +1,237 @@
+"""Stages 2-4 of ML insertion (paper Fig 5(b)).
+
+- Stage 2 (*orchestration of search*): :class:`TrajectoryExplorer` runs
+  N concurrent flow trajectories per round and clones perturbed copies
+  of the winners into the losers' slots — GWTW applied to whole flows.
+- Stage 3 (*pruning via predictors*): the explorer accepts a doomed-run
+  stop callback; pruned runs release their licenses early and the saved
+  runtime is accounted.
+- Stage 4 (*reinforcement learning*): :class:`FlowRepairAgent` learns a
+  tabular Q-policy over flow-repair actions (which knob to escalate
+  given the failure signature) from its own rollouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.orchestration.tree import FlowOptionTree, default_option_tree
+from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
+from repro.eda.synthesis import DesignSpec
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a trajectory-space search."""
+
+    best_result: Optional[FlowResult]
+    best_score: float
+    n_runs: int
+    n_pruned: int
+    total_runtime_proxy: float
+    score_trace: List[float] = field(default_factory=list)
+
+
+def default_score(result: FlowResult) -> float:
+    """Higher is better: successful runs score by achieved frequency per
+    area; failures score negative by how badly they failed."""
+    if result.success:
+        return result.achieved_ghz * 1000.0 / max(1.0, result.area)
+    penalty = 0.0
+    if not result.timing_met:
+        penalty += min(1.0, -min(0.0, result.wns) / 1000.0)
+    if not result.routed:
+        penalty += min(1.0, result.final_drvs / 10000.0)
+    return -penalty
+
+
+class TrajectoryExplorer:
+    """GWTW over flow trajectories under a license budget."""
+
+    def __init__(
+        self,
+        tree: Optional[FlowOptionTree] = None,
+        n_concurrent: int = 5,
+        n_rounds: int = 6,
+        survivor_fraction: float = 0.4,
+        score: Callable[[FlowResult], float] = default_score,
+        stop_callback=None,
+    ):
+        if n_concurrent < 2:
+            raise ValueError("need at least 2 concurrent runs to clone winners")
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if not 0.0 < survivor_fraction < 1.0:
+            raise ValueError("survivor_fraction must be in (0, 1)")
+        self.tree = tree or default_option_tree()
+        self.n_concurrent = n_concurrent
+        self.n_rounds = n_rounds
+        self.survivor_fraction = survivor_fraction
+        self.score = score
+        self.stop_callback = stop_callback
+
+    def explore(self, spec: DesignSpec, seed: int = 0) -> ExplorationResult:
+        rng = np.random.default_rng(seed)
+        flow = SPRFlow(stop_callback=self.stop_callback)
+        trajectories = [self.tree.sample(rng) for _ in range(self.n_concurrent)]
+        result = ExplorationResult(
+            best_result=None, best_score=-np.inf, n_runs=0, n_pruned=0,
+            total_runtime_proxy=0.0,
+        )
+        for _ in range(self.n_rounds):
+            scored: List[Tuple[float, Dict, FlowResult]] = []
+            for trajectory in trajectories:
+                options = self.tree.to_flow_options(trajectory)
+                run = flow.run(spec, options, seed=int(rng.integers(0, 2**31 - 1)))
+                result.n_runs += 1
+                result.total_runtime_proxy += run.runtime_proxy
+                if any(log.step == "droute" and log.metrics.get("success", 1) == 0
+                       and run.final_drvs > 0 for log in run.logs) and _was_pruned(run):
+                    result.n_pruned += 1
+                scored.append((self.score(run), trajectory, run))
+            scored.sort(key=lambda t: t[0], reverse=True)
+            if scored[0][0] > result.best_score:
+                result.best_score = scored[0][0]
+                result.best_result = scored[0][2]
+            result.score_trace.append(result.best_score)
+            # winners survive; losers are replaced by perturbed winners
+            n_survive = max(1, int(self.n_concurrent * self.survivor_fraction))
+            survivors = [t for _, t, _ in scored[:n_survive]]
+            trajectories = list(survivors)
+            while len(trajectories) < self.n_concurrent:
+                donor = survivors[int(rng.integers(0, len(survivors)))]
+                trajectories.append(self._perturb(donor, rng))
+        return result
+
+    def _perturb(self, trajectory: Dict, rng: np.random.Generator) -> Dict:
+        """Clone a winner, re-rolling one random option."""
+        clone = dict(trajectory)
+        step = self.tree.steps[int(rng.integers(0, len(self.tree.steps)))]
+        option = list(step.options)[int(rng.integers(0, len(step.options)))]
+        values = step.options[option]
+        clone[option] = values[int(rng.integers(0, len(values)))]
+        return clone
+
+
+def _was_pruned(run: FlowResult) -> bool:
+    for log in run.logs:
+        if log.step == "droute":
+            iterations = log.metrics.get("iterations", 0)
+            return iterations < run.options.router_max_iterations and run.final_drvs > 0
+    return False
+
+
+class FlowRepairAgent:
+    """Stage-4: tabular Q-learning of flow-repair actions.
+
+    State: (timing bucket, routing bucket) of the last run.  Actions:
+    which knob to escalate.  Reward: improvement in the exploration
+    score minus a fixed per-run cost.  After training the greedy policy
+    is a learned escalation ladder — the robots' hand-coded ladder,
+    discovered from experience instead.
+    """
+
+    ACTIONS = (
+        "more_opt",
+        "more_synth_effort",
+        "lower_utilization",
+        "more_router_effort",
+        "lower_target",
+    )
+
+    def __init__(
+        self,
+        alpha: float = 0.4,
+        gamma: float = 0.8,
+        epsilon: float = 0.3,
+        run_cost: float = 0.05,
+    ):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0 <= gamma < 1:
+            raise ValueError("gamma must be in [0, 1)")
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.run_cost = run_cost
+        self.q: Dict[Tuple[int, int], np.ndarray] = {}
+
+    @staticmethod
+    def state_of(result: FlowResult) -> Tuple[int, int]:
+        if result.timing_met:
+            timing = 0
+        elif result.wns > -200:
+            timing = 1
+        else:
+            timing = 2
+        if result.routed:
+            routing = 0
+        elif result.final_drvs < 2000:
+            routing = 1
+        else:
+            routing = 2
+        return timing, routing
+
+    def _q_row(self, state: Tuple[int, int]) -> np.ndarray:
+        if state not in self.q:
+            self.q[state] = np.zeros(len(self.ACTIONS))
+        return self.q[state]
+
+    def apply_action(self, options: FlowOptions, action: str) -> FlowOptions:
+        if action == "more_opt":
+            return options.with_(opt_passes=options.opt_passes + 4,
+                                 opt_cells_per_pass=options.opt_cells_per_pass + 16)
+        if action == "more_synth_effort":
+            return options.with_(synth_effort=min(1.0, options.synth_effort + 0.25))
+        if action == "lower_utilization":
+            return options.with_(utilization=max(0.4, options.utilization - 0.08))
+        if action == "more_router_effort":
+            return options.with_(router_effort=min(1.0, options.router_effort + 0.2))
+        if action == "lower_target":
+            return options.with_(target_clock_ghz=max(0.1, options.target_clock_ghz - 0.04))
+        raise ValueError(f"unknown action {action!r}")
+
+    def train(
+        self,
+        spec: DesignSpec,
+        start_options: FlowOptions,
+        n_episodes: int = 6,
+        steps_per_episode: int = 4,
+        seed: int = 0,
+    ) -> Dict[Tuple[int, int], str]:
+        """Q-learning rollouts; returns the learned greedy policy."""
+        rng = np.random.default_rng(seed)
+        flow = SPRFlow()
+        for _ in range(n_episodes):
+            options = start_options
+            result = flow.run(spec, options, seed=int(rng.integers(0, 2**31 - 1)))
+            state = self.state_of(result)
+            score = default_score(result)
+            for _ in range(steps_per_episode):
+                if state == (0, 0):
+                    break  # flow is healthy; nothing to repair
+                row = self._q_row(state)
+                if rng.random() < self.epsilon:
+                    action_idx = int(rng.integers(0, len(self.ACTIONS)))
+                else:
+                    action_idx = int(np.argmax(row))
+                options = self.apply_action(options, self.ACTIONS[action_idx])
+                result = flow.run(spec, options, seed=int(rng.integers(0, 2**31 - 1)))
+                new_state = self.state_of(result)
+                new_score = default_score(result)
+                reward = (new_score - score) - self.run_cost
+                future = float(np.max(self._q_row(new_state)))
+                row[action_idx] += self.alpha * (
+                    reward + self.gamma * future - row[action_idx]
+                )
+                state, score = new_state, new_score
+        return self.policy()
+
+    def policy(self) -> Dict[Tuple[int, int], str]:
+        """Greedy action per visited state."""
+        return {
+            state: self.ACTIONS[int(np.argmax(row))] for state, row in self.q.items()
+        }

@@ -1,0 +1,196 @@
+"""Stage-1 robot engineers (paper Sec 3.1).
+
+"Obvious, high-value applications include (i) automation of manual DRC
+violation fixing; (ii) automation of manual timing closure steps;
+(iii) placement of memory instances in a P&R block ..."  Each robot is
+an expert-system automaton: it owns an escalation ladder of remedies,
+applies them systematically, and runs to completion with no human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
+from repro.eda.floorplan import Floorplan, Macro
+from repro.eda.synthesis import DesignSpec
+
+
+@dataclass
+class RobotReport:
+    """What a robot did and whether it succeeded."""
+
+    robot: str
+    solved: bool
+    attempts: int
+    actions: List[str] = field(default_factory=list)
+    final_result: Optional[FlowResult] = None
+    runtime_proxy: float = 0.0
+
+
+class DRCFixRobot:
+    """Automated DRC-violation fixing.
+
+    Escalation ladder: raise router effort → allow more router
+    iterations → lower placement utilization → relax aspect ratio.
+    Each rung re-runs the flow and checks the DRV count, exactly the
+    trial-and-error loop the paper says consumes expert time.
+    """
+
+    name = "drc_fix"
+
+    def __init__(self, max_attempts: int = 6):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+
+    def run(
+        self, spec: DesignSpec, options: FlowOptions, seed: int = 0
+    ) -> RobotReport:
+        flow = SPRFlow()
+        report = RobotReport(robot=self.name, solved=False, attempts=0)
+        current = options
+        rungs = [
+            ("raise router_effort", lambda o: o.with_(router_effort=min(1.0, o.router_effort + 0.3))),
+            ("raise router_max_iterations", lambda o: o.with_(router_max_iterations=o.router_max_iterations + 20)),
+            ("lower utilization", lambda o: o.with_(utilization=max(0.4, o.utilization - 0.1))),
+            ("raise router_effort", lambda o: o.with_(router_effort=min(1.0, o.router_effort + 0.3))),
+            ("lower utilization", lambda o: o.with_(utilization=max(0.4, o.utilization - 0.1))),
+            ("lower utilization", lambda o: o.with_(utilization=max(0.4, o.utilization - 0.1))),
+        ]
+        rung_idx = 0
+        for attempt in range(self.max_attempts):
+            report.attempts += 1
+            result = flow.run(spec, current, seed=seed + attempt)
+            report.runtime_proxy += result.runtime_proxy
+            report.final_result = result
+            if result.routed:
+                report.solved = True
+                return report
+            if rung_idx >= len(rungs):
+                break
+            action, escalate = rungs[rung_idx]
+            rung_idx += 1
+            report.actions.append(action)
+            current = escalate(current)
+        return report
+
+
+class TimingClosureRobot:
+    """Automated timing closure.
+
+    Ladder: more optimizer passes → higher synthesis effort → better
+    CTS → finally concede target frequency in small steps (the paper's
+    "aim low" made explicit and mechanical).
+    """
+
+    name = "timing_closure"
+
+    def __init__(self, max_attempts: int = 8, frequency_step: float = 0.03):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if frequency_step <= 0:
+            raise ValueError("frequency_step must be positive")
+        self.max_attempts = max_attempts
+        self.frequency_step = frequency_step
+
+    def run(
+        self, spec: DesignSpec, options: FlowOptions, seed: int = 0
+    ) -> RobotReport:
+        flow = SPRFlow()
+        report = RobotReport(robot=self.name, solved=False, attempts=0)
+        current = options
+        rungs = [
+            ("more opt passes", lambda o: o.with_(opt_passes=o.opt_passes + 4,
+                                                  opt_cells_per_pass=o.opt_cells_per_pass + 16)),
+            ("higher synth effort", lambda o: o.with_(synth_effort=min(1.0, o.synth_effort + 0.3))),
+            ("better CTS", lambda o: o.with_(cts_effort=min(1.0, o.cts_effort + 0.3))),
+        ]
+        rung_idx = 0
+        for attempt in range(self.max_attempts):
+            report.attempts += 1
+            result = flow.run(spec, current, seed=seed + attempt)
+            report.runtime_proxy += result.runtime_proxy
+            report.final_result = result
+            if result.timing_met:
+                report.solved = True
+                return report
+            if rung_idx < len(rungs):
+                action, escalate = rungs[rung_idx]
+                rung_idx += 1
+            else:
+                action = "concede target frequency"
+                escalate = lambda o: o.with_(  # noqa: E731
+                    target_clock_ghz=max(0.1, o.target_clock_ghz - self.frequency_step)
+                )
+            report.actions.append(action)
+            current = escalate(current)
+        return report
+
+
+class MemoryPlacementRobot:
+    """Automated placement of memory macros in a block.
+
+    Scans candidate macro positions on a coarse grid, scoring each by
+    (a) keeping macros off the core center (congestion) and (b)
+    pin-access proximity to the nearest die edge — the heuristics a
+    human would apply, mechanized.
+    """
+
+    name = "memory_placement"
+
+    def __init__(self, grid: int = 6):
+        if grid < 2:
+            raise ValueError("grid must be >= 2")
+        self.grid = grid
+
+    def run(
+        self,
+        floorplan: Floorplan,
+        macro_sizes: List[Tuple[float, float]],
+        seed: int = 0,
+    ) -> RobotReport:
+        report = RobotReport(robot=self.name, solved=False, attempts=0)
+        rng = np.random.default_rng(seed)
+        placed: List[Macro] = []
+        for m_idx, (w, h) in enumerate(macro_sizes):
+            if w <= 0 or h <= 0:
+                raise ValueError("macro dimensions must be positive")
+            if w > floorplan.width or h > floorplan.height:
+                report.actions.append(f"macro{m_idx}: does not fit")
+                return report
+            best = None
+            for gj in range(self.grid):
+                for gi in range(self.grid):
+                    x = gi / max(1, self.grid - 1) * (floorplan.width - w)
+                    y = gj / max(1, self.grid - 1) * (floorplan.height - h)
+                    candidate = Macro(f"mem{m_idx}", x, y, w, h)
+                    report.attempts += 1
+                    if any(candidate.overlaps(p) for p in placed):
+                        continue
+                    score = self._score(floorplan, candidate) + rng.normal(0, 1e-6)
+                    if best is None or score < best[0]:
+                        best = (score, candidate)
+            if best is None:
+                report.actions.append(f"macro{m_idx}: no legal position")
+                return report
+            placed.append(best[1])
+            report.actions.append(
+                f"macro{m_idx} at ({best[1].x:.1f},{best[1].y:.1f})"
+            )
+        for macro in placed:
+            floorplan.add_macro(macro)
+        report.solved = True
+        return report
+
+    @staticmethod
+    def _score(floorplan: Floorplan, macro: Macro) -> float:
+        cx = macro.x + macro.width / 2
+        cy = macro.y + macro.height / 2
+        center_dist = np.hypot(cx - floorplan.width / 2, cy - floorplan.height / 2)
+        edge_dist = min(cx, floorplan.width - cx, cy, floorplan.height - cy)
+        # prefer near an edge (pin access), far from the center (congestion)
+        return edge_dist - 0.5 * center_dist

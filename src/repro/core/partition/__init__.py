@@ -1,0 +1,32 @@
+"""Partition-driven implementation (paper Sec 2, Solution 1, Fig 4(b)).
+
+"The design problem is decomposed into many more small subproblems;
+this reduces the time needed to solve any given subproblem, and smaller
+subproblems can be better-solved ...  To increase the number of design
+partitions without undue loss of global solution quality demands new
+placement, global routing and optimization algorithms."
+
+- :mod:`kway` — recursive-bisection k-way netlist partitioning (built
+  on the big-valley bisection engine).
+- :mod:`extract` — sub-netlist extraction with boundary-net conversion.
+- :mod:`flow` — the partitioned flow: implement every block
+  independently (in parallel, in the TAT model), assemble, and compare
+  turnaround time and outcome predictability against the flat flow.
+"""
+
+from repro.core.partition.kway import kway_partition, cut_nets
+from repro.core.partition.extract import extract_partition
+from repro.core.partition.flow import (
+    PartitionedResult,
+    partitioned_implementation,
+    predictability_study,
+)
+
+__all__ = [
+    "kway_partition",
+    "cut_nets",
+    "extract_partition",
+    "PartitionedResult",
+    "partitioned_implementation",
+    "predictability_study",
+]

@@ -1,0 +1,31 @@
+"""Predictive modeling of tools and designs (paper Sec 3.3).
+
+"Tool and flow predictions must also increase their span across
+multiple design steps: essentially, we must predict what will happen at
+the end of a longer and longer 'rope' of design steps when the rope is
+wiggled."
+
+- :mod:`ropes` — end-of-flow outcome prediction from progressively
+  earlier stage prefixes, with the accuracy-vs-span profile.
+- :mod:`floorplan_doom` — predicting doomed P&R flows from netlist and
+  floorplan features alone ("the same applies to doomed P&R flows,
+  doomed floorplans"), and using that prediction to skip runs.
+"""
+
+from repro.core.prediction.ropes import (
+    FLOW_STAGES,
+    RopeDataset,
+    RopePredictor,
+    build_rope_dataset,
+    span_accuracy_profile,
+)
+from repro.core.prediction.floorplan_doom import FloorplanDoomPredictor
+
+__all__ = [
+    "FLOW_STAGES",
+    "RopeDataset",
+    "RopePredictor",
+    "build_rope_dataset",
+    "span_accuracy_profile",
+    "FloorplanDoomPredictor",
+]

@@ -1,0 +1,174 @@
+"""Longer-rope prediction: end-of-flow outcomes from stage prefixes.
+
+A *rope of length k* sees only the logfile metrics of the first k flow
+stages (plus the option settings, which are known up front) and
+predicts a signoff-stage outcome.  The paper reviews a progression of
+such predictors — trial route → detailed route [8], clock change → ECO
+timing [13], netlist+floorplan → IR-aware timing [7] — and argues
+one-pass design needs accurate long ropes.  Here the full progression
+is measured on one substrate: the accuracy-vs-span profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
+from repro.eda.synthesis import DesignSpec
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import mean_absolute_error, r2_score
+
+#: flow stages in execution order; a rope of length k sees stages [:k]
+FLOW_STAGES = ("synth", "floorplan", "place", "cts", "groute", "opt")
+
+#: outcomes a rope can predict (all measured at/after detailed route)
+TARGETS = ("wns", "final_drvs", "area", "achieved_ghz")
+
+#: per-stage logfile metrics used as features
+_STAGE_FEATURES: Dict[str, tuple] = {
+    "synth": ("instances", "depth", "area", "avg_fanout", "max_fanout", "flops"),
+    "floorplan": ("width", "height", "utilization"),
+    "place": ("hpwl", "density_max"),
+    "cts": ("skew", "buffers"),
+    "groute": ("overflow", "max_congestion", "wirelength"),
+    "opt": ("passes", "upsizes", "vt_swaps", "wns_graph"),
+}
+
+_OPTION_FEATURES = (
+    "target_clock_ghz",
+    "synth_effort",
+    "utilization",
+    "router_effort",
+    "opt_guardband",
+)
+
+
+@dataclass
+class RopeDataset:
+    """Flow runs decomposed into per-stage feature blocks + outcomes."""
+
+    results: List[FlowResult]
+
+    def __post_init__(self):
+        if not self.results:
+            raise ValueError("dataset needs at least one flow run")
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def features(self, span: int) -> np.ndarray:
+        """Feature matrix for ropes of length ``span`` (1..len(FLOW_STAGES))."""
+        if not 1 <= span <= len(FLOW_STAGES):
+            raise ValueError(f"span must be in [1, {len(FLOW_STAGES)}]")
+        rows = []
+        for result in self.results:
+            row = [float(getattr(result.options, name)) for name in _OPTION_FEATURES]
+            logs = {log.step: log for log in result.logs}
+            for stage in FLOW_STAGES[:span]:
+                log = logs.get(stage)
+                for metric in _STAGE_FEATURES[stage]:
+                    row.append(float(log.metrics.get(metric, 0.0)) if log else 0.0)
+            rows.append(row)
+        return np.array(rows)
+
+    def target(self, name: str) -> np.ndarray:
+        if name not in TARGETS:
+            raise ValueError(f"unknown target {name!r}; choose from {TARGETS}")
+        return np.array([float(getattr(r, name)) for r in self.results])
+
+    def split(self, train_fraction: float = 0.7, seed: int = 0):
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(len(self.results))
+        cut = max(1, int(len(self.results) * train_fraction))
+        train = RopeDataset([self.results[i] for i in perm[:cut]])
+        test = RopeDataset([self.results[i] for i in perm[cut:]])
+        return train, test
+
+
+def build_rope_dataset(
+    specs: Optional[Sequence[DesignSpec]] = None,
+    n_runs: int = 60,
+    seed: int = 0,
+) -> RopeDataset:
+    """Run the flow ``n_runs`` times with randomized options/designs."""
+    if n_runs < 4:
+        raise ValueError("need at least 4 runs")
+    if specs is None:
+        from repro.bench.generators import DRIVER_CLASSES
+
+        specs = [DRIVER_CLASSES["MCU"], DRIVER_CLASSES["PHY"], DRIVER_CLASSES["NOC"]]
+    rng = np.random.default_rng(seed)
+    flow = SPRFlow()
+    results = []
+    for i in range(n_runs):
+        spec = specs[i % len(specs)]
+        options = FlowOptions(
+            target_clock_ghz=float(rng.uniform(0.45, 1.1)),
+            synth_effort=float(rng.uniform(0.2, 0.9)),
+            utilization=float(rng.uniform(0.55, 0.9)),
+            router_effort=float(rng.uniform(0.4, 0.9)),
+            opt_guardband=float(rng.uniform(0.0, 40.0)),
+        )
+        results.append(flow.run(spec, options, seed=int(rng.integers(0, 2**31 - 1))))
+    return RopeDataset(results)
+
+
+class RopePredictor:
+    """One (span, target) predictor over a rope dataset."""
+
+    def __init__(self, span: int, target: str = "wns", seed: Optional[int] = None):
+        if target not in TARGETS:
+            raise ValueError(f"unknown target {target!r}")
+        self.span = span
+        self.target = target
+        self.seed = seed
+        self._model: Optional[RandomForestRegressor] = None
+
+    def fit(self, dataset: RopeDataset) -> "RopePredictor":
+        X = dataset.features(self.span)
+        y = dataset.target(self.target)
+        self._model = RandomForestRegressor(
+            n_estimators=40, max_depth=8, random_state=self.seed
+        )
+        self._model.fit(X, y)
+        return self
+
+    def predict(self, dataset: RopeDataset) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("predictor is not fitted")
+        return self._model.predict(dataset.features(self.span))
+
+    def score(self, dataset: RopeDataset) -> Dict[str, float]:
+        pred = self.predict(dataset)
+        truth = dataset.target(self.target)
+        return {
+            "r2": r2_score(truth, pred),
+            "mae": mean_absolute_error(truth, pred),
+        }
+
+
+def span_accuracy_profile(
+    train: RopeDataset,
+    test: RopeDataset,
+    target: str = "wns",
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Prediction quality for every rope length (the Sec 3.3 progression).
+
+    Longer ropes = predicting the same end-of-flow outcome from *fewer*
+    completed stages.  Entry i describes the rope that has seen stages
+    ``FLOW_STAGES[: i+1]``; accuracy should degrade gracefully (not
+    collapse) as the rope lengthens — that grace is what ML buys.
+    """
+    profile = []
+    for span in range(1, len(FLOW_STAGES) + 1):
+        predictor = RopePredictor(span, target, seed=seed).fit(train)
+        entry = {"span": float(span), "stages_seen": float(span)}
+        entry.update(predictor.score(test))
+        profile.append(entry)
+    return profile

@@ -1,0 +1,29 @@
+"""Parallel search paradigms (paper Sec 2, Fig 6).
+
+"Simple multistart, or depth-first or breadth-first traversal of the
+tree of flow options, is hopeless.  Rather, strategies such as
+go-with-the-winners (GWTW), which launches multiple optimization
+threads, and periodically identifies and clones the most promising
+thread while terminating other threads, might be applied.  Adaptive
+multistart strategies, which exploit an inherent 'big valley' structure
+in optimization cost landscapes ... are also of interest."
+
+Both are implemented over a netlist-bisection landscape (the classic
+domain of the paper's refs [5][12]) and over generic optimization
+threads, so the orchestration layer can reuse them on flow
+trajectories.
+"""
+
+from repro.core.search.landscape import BisectionProblem, big_valley_correlation
+from repro.core.search.gwtw import GWTWResult, go_with_the_winners, independent_multistart
+from repro.core.search.multistart import AdaptiveMultistart, MultistartResult
+
+__all__ = [
+    "BisectionProblem",
+    "big_valley_correlation",
+    "GWTWResult",
+    "go_with_the_winners",
+    "independent_multistart",
+    "AdaptiveMultistart",
+    "MultistartResult",
+]

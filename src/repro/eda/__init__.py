@@ -1,0 +1,45 @@
+"""Simulated EDA tool substrate.
+
+The paper's experiments were run with commercial synthesis, place and
+route, and signoff tools on foundry enablement.  None of that is
+available, so this package provides a self-contained substitute: a
+synthetic 14nm-class standard-cell library, a gate-level netlist model,
+a netlist generator ("synthesis"), floorplanning, quadratic + annealing
+placement, global routing with congestion negotiation, a detailed-router
+iteration simulator with per-iteration DRV accounting, two static timing
+engines with genuinely different approximations (the miscorrelation the
+paper's Sec 3.2 studies), power/IR analysis, a timing-optimization
+engine and a full SP&R flow runner with the inherent-noise behaviour of
+the paper's Fig 3.
+
+The substrate is *behavioural*, not calibrated to any foundry: absolute
+numbers are arbitrary-but-consistent, while the statistical properties
+the paper relies on (noise growth near the feasibility wall, DRV
+trajectory classes, analysis miscorrelation structure) emerge from the
+actual algorithms rather than from sampled templates.
+"""
+
+from repro.eda.library import Cell, StdCellLibrary, make_default_library
+from repro.eda.netlist import Instance, Net, Netlist
+from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
+from repro.eda.mmmc import AnalysisView, MMMCAnalyzer, MMMCReport
+from repro.eda.io import read_def, read_verilog, write_def, write_verilog
+
+__all__ = [
+    "Cell",
+    "StdCellLibrary",
+    "make_default_library",
+    "Instance",
+    "Net",
+    "Netlist",
+    "FlowOptions",
+    "FlowResult",
+    "SPRFlow",
+    "AnalysisView",
+    "MMMCAnalyzer",
+    "MMMCReport",
+    "read_def",
+    "read_verilog",
+    "write_def",
+    "write_verilog",
+]

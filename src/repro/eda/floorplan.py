@@ -1,0 +1,113 @@
+"""Die floorplan: core area, rows, IO pad ring, optional macros.
+
+The floorplan fixes the geometry placement and routing operate in.  Die
+area is derived from total cell area and a target utilization; IO pads
+for primary inputs/outputs are distributed on the core boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.eda.netlist import Netlist
+
+ROW_HEIGHT = 1.0  # um; all cells are single-row-height
+
+
+@dataclass(frozen=True)
+class Macro:
+    """A pre-placed rectangular blockage (e.g. a memory)."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def overlaps(self, other: "Macro") -> bool:
+        return not (
+            self.x + self.width <= other.x
+            or other.x + other.width <= self.x
+            or self.y + self.height <= other.y
+            or other.y + other.height <= self.y
+        )
+
+
+@dataclass
+class Floorplan:
+    """Core region geometry plus fixed IO pad locations."""
+
+    width: float
+    height: float
+    utilization: float
+    pad_positions: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    macros: List[Macro] = field(default_factory=list)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def n_rows(self) -> int:
+        return max(1, int(self.height / ROW_HEIGHT))
+
+    def add_macro(self, macro: Macro) -> None:
+        if macro.x < 0 or macro.y < 0 or macro.x + macro.width > self.width or macro.y + macro.height > self.height:
+            raise ValueError(f"macro {macro.name} lies outside the core")
+        for other in self.macros:
+            if macro.overlaps(other):
+                raise ValueError(f"macro {macro.name} overlaps {other.name}")
+        self.macros.append(macro)
+
+    def macro_area(self) -> float:
+        return sum(m.width * m.height for m in self.macros)
+
+    def contains(self, x: float, y: float) -> bool:
+        return 0.0 <= x <= self.width and 0.0 <= y <= self.height
+
+    def in_macro(self, x: float, y: float) -> bool:
+        return any(
+            m.x <= x < m.x + m.width and m.y <= y < m.y + m.height for m in self.macros
+        )
+
+
+def make_floorplan(
+    netlist: Netlist,
+    utilization: float = 0.70,
+    aspect_ratio: float = 1.0,
+) -> Floorplan:
+    """Size a core for ``netlist`` and ring it with IO pads.
+
+    ``utilization`` is cell area / core area (higher = denser, harder to
+    route — the lever behind congestion experiments).  ``aspect_ratio``
+    is height / width.
+    """
+    if not 0.05 <= utilization <= 0.98:
+        raise ValueError("utilization must be in [0.05, 0.98]")
+    if aspect_ratio <= 0:
+        raise ValueError("aspect_ratio must be positive")
+    core_area = netlist.total_area / utilization
+    width = (core_area / aspect_ratio) ** 0.5
+    height = core_area / width
+    # quantize height to an integer number of rows
+    height = max(ROW_HEIGHT, round(height / ROW_HEIGHT) * ROW_HEIGHT)
+    fp = Floorplan(width=width, height=height, utilization=utilization)
+
+    # pads: PIs along left/top edges, POs along right/bottom edges
+    def spread(names: List[str], edges: List[str]) -> None:
+        for i, name in enumerate(names):
+            edge = edges[i % len(edges)]
+            frac = (i // len(edges) + 0.5) / max(1, (len(names) + len(edges) - 1) // len(edges))
+            if edge == "left":
+                fp.pad_positions[name] = (0.0, frac * height)
+            elif edge == "right":
+                fp.pad_positions[name] = (width, frac * height)
+            elif edge == "top":
+                fp.pad_positions[name] = (frac * width, height)
+            else:
+                fp.pad_positions[name] = (frac * width, 0.0)
+
+    spread(list(netlist.primary_inputs), ["left", "top"])
+    spread(list(netlist.primary_outputs), ["right", "bottom"])
+    return fp

@@ -1,0 +1,322 @@
+"""The SP&R flow runner: synthesis → floorplan → place → CTS → route → opt → signoff.
+
+:class:`SPRFlow` is the substrate's stand-in for a commercial RTL-to-GDS
+flow.  A run takes a :class:`~repro.eda.synthesis.DesignSpec`, a
+:class:`FlowOptions` bundle (the "command options" of the paper's
+Sec 2 — utilizations, efforts, guardbands, ...) and a seed, and returns
+a :class:`FlowResult` with QoR metrics and per-step logs.
+
+Run-to-run noise (paper Fig 3) is *emergent*: the synthesis
+restructurer, the placement annealer, CTS and the optimizer all make
+seed-dependent tie-breaking choices, and the closer the target
+frequency sits to the design's feasibility wall, the more such choices
+the optimizer is forced to make — so QoR variance grows with target
+aggressiveness without any explicit noise injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.eda.cts import ClockTreeSynthesizer
+from repro.eda.floorplan import make_floorplan
+from repro.eda.netlist import Netlist
+from repro.eda.opt import TimingOptimizer
+from repro.eda.placement import AnnealingRefiner, QuadraticPlacer
+from repro.eda.power import estimate_power, ir_drop_analysis
+from repro.eda.routing import DetailedRouter, GlobalRouter
+from repro.eda.synthesis import DesignSpec, synthesize
+from repro.eda.timing import GraphSTA, SignoffSTA
+
+
+@dataclass(frozen=True)
+class FlowOptions:
+    """One point in the flow's option space.
+
+    The paper notes a P&R tool has "well over ten thousand
+    command-option combinations"; :meth:`option_space_size` counts ours.
+    """
+
+    target_clock_ghz: float = 0.8
+    synth_effort: float = 0.5
+    utilization: float = 0.70
+    aspect_ratio: float = 1.0
+    placer_moves_per_cell: int = 8
+    spread_strength: float = 0.8
+    cts_effort: float = 0.5
+    router_tracks_per_um: float = 16.0
+    router_effort: float = 0.6
+    router_max_iterations: int = 20
+    opt_passes: int = 6
+    opt_cells_per_pass: int = 24
+    opt_guardband: float = 0.0
+    power_recovery: bool = True
+
+    def __post_init__(self):
+        if self.target_clock_ghz <= 0:
+            raise ValueError("target_clock_ghz must be positive")
+        if not 0.0 <= self.synth_effort <= 1.0:
+            raise ValueError("synth_effort must be in [0, 1]")
+        if not 0.05 <= self.utilization <= 0.98:
+            raise ValueError("utilization must be in [0.05, 0.98]")
+
+    @property
+    def clock_period_ps(self) -> float:
+        return 1000.0 / self.target_clock_ghz
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def with_(self, **kwargs) -> "FlowOptions":
+        """A copy with some options overridden."""
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def option_space_size(
+        n_levels_continuous: int = 5,
+    ) -> int:
+        """Combinations if each knob is quantized to a few levels."""
+        continuous = [
+            "target_clock_ghz",
+            "synth_effort",
+            "utilization",
+            "aspect_ratio",
+            "spread_strength",
+            "cts_effort",
+            "router_tracks_per_um",
+            "router_effort",
+            "opt_guardband",
+        ]
+        discrete = {
+            "placer_moves_per_cell": 4,
+            "router_max_iterations": 3,
+            "opt_passes": 4,
+            "opt_cells_per_pass": 3,
+            "power_recovery": 2,
+        }
+        total = 1
+        for _ in continuous:
+            total *= n_levels_continuous
+        for n in discrete.values():
+            total *= n
+        return total
+
+
+@dataclass
+class StepLog:
+    """One flow step's logfile record."""
+
+    step: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    runtime_proxy: float = 0.0
+
+    def to_text(self) -> str:
+        lines = [f"#--- step {self.step} (cost {self.runtime_proxy:.0f}) ---"]
+        for key, value in sorted(self.metrics.items()):
+            lines.append(f"{self.step}.{key} = {value:.4f}")
+        for key, values in self.series.items():
+            for i, v in enumerate(values):
+                lines.append(f"{self.step}.{key}[{i}] = {v:.4f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FlowResult:
+    """End-to-end QoR of one flow run."""
+
+    design: str
+    options: FlowOptions
+    seed: int
+    area: float = 0.0  # um^2, cells + clock buffers
+    power: float = 0.0  # uW at target frequency
+    leakage: float = 0.0
+    wns: float = 0.0  # ps at signoff
+    tns: float = 0.0
+    achieved_ghz: float = 0.0
+    hpwl: float = 0.0
+    final_drvs: int = 0
+    routed: bool = False
+    timing_met: bool = False
+    logs: List[StepLog] = field(default_factory=list)
+    runtime_proxy: float = 0.0
+
+    @property
+    def success(self) -> bool:
+        return self.routed and self.timing_met
+
+    def meets(self, max_area: Optional[float] = None, max_power: Optional[float] = None) -> bool:
+        """Success under optional area/power constraints (MAB reward)."""
+        if not self.success:
+            return False
+        if max_area is not None and self.area > max_area:
+            return False
+        if max_power is not None and self.power > max_power:
+            return False
+        return True
+
+    def log_text(self) -> str:
+        header = (
+            f"# SP&R flow log: design={self.design} seed={self.seed} "
+            f"target={self.options.target_clock_ghz:.3f}GHz"
+        )
+        return "\n".join([header] + [log.to_text() for log in self.logs])
+
+
+class SPRFlow:
+    """The full synthesis/place/route flow over the simulated substrate."""
+
+    def __init__(self, stop_callback=None):
+        """``stop_callback(history) -> bool`` is forwarded to detailed
+        routing (the hook doomed-run predictors plug into)."""
+        self.stop_callback = stop_callback
+
+    def run(self, spec: DesignSpec, options: FlowOptions, seed: int = 0) -> FlowResult:
+        """Full flow from a design spec (synthesis included)."""
+        rng = np.random.default_rng(seed)
+        step_seed = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
+        netlist = synthesize(spec, _default_library(), options.synth_effort, step_seed())
+        synth_log = StepLog(
+            "synth", dict(netlist.stats(), effort=options.synth_effort),
+            runtime_proxy=netlist.n_instances * (1 + 2 * options.synth_effort),
+        )
+        return self.implement(netlist, options, seed=step_seed(),
+                              design_name=spec.name, synth_log=synth_log)
+
+    def implement(
+        self,
+        netlist: Netlist,
+        options: FlowOptions,
+        seed: int = 0,
+        design_name: Optional[str] = None,
+        synth_log: Optional[StepLog] = None,
+    ) -> FlowResult:
+        """Physical implementation of an existing netlist.
+
+        The entry point partition-driven flows use: each block netlist
+        (already extracted) goes through floorplan -> place -> CTS ->
+        route -> opt -> signoff on its own.
+        """
+        rng = np.random.default_rng(seed)
+        step_seed = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
+        result = FlowResult(
+            design=design_name or netlist.name, options=options, seed=seed
+        )
+        period = options.clock_period_ps
+        if synth_log is not None:
+            result.logs.append(synth_log)
+
+        # -- floorplan ---------------------------------------------------
+        floorplan = make_floorplan(netlist, options.utilization, options.aspect_ratio)
+        result.logs.append(
+            StepLog("floorplan",
+                    {"width": floorplan.width, "height": floorplan.height,
+                     "utilization": options.utilization},
+                    runtime_proxy=10.0)
+        )
+
+        # -- placement ---------------------------------------------------
+        placement = QuadraticPlacer(options.spread_strength).place(
+            netlist, floorplan, step_seed()
+        )
+        refiner = AnnealingRefiner(moves_per_cell=options.placer_moves_per_cell)
+        hpwl = refiner.refine(placement, step_seed())
+        result.hpwl = hpwl
+        result.logs.append(
+            StepLog("place", {"hpwl": hpwl,
+                              "density_max": float(placement.density_map().max())},
+                    runtime_proxy=netlist.n_instances * options.placer_moves_per_cell)
+        )
+
+        # -- CTS -----------------------------------------------------------
+        cts = ClockTreeSynthesizer(options.cts_effort).synthesize(
+            netlist, placement, step_seed()
+        )
+        result.logs.append(
+            StepLog("cts", {"skew": cts.global_skew, "buffers": cts.n_buffers,
+                            "buffer_area": cts.buffer_area},
+                    runtime_proxy=cts.n_buffers * 4.0)
+        )
+
+        # -- global route ----------------------------------------------------
+        groute = GlobalRouter(tracks_per_um=options.router_tracks_per_um).route(
+            placement, step_seed()
+        )
+        congestion = groute.congestion_map()
+        result.logs.append(
+            StepLog("groute", {"overflow": groute.overflow,
+                               "max_congestion": groute.max_congestion,
+                               "wirelength": groute.wirelength},
+                    runtime_proxy=groute.wirelength * 0.2)
+        )
+
+        # -- timing optimization (embedded graph timer) ----------------------
+        optimizer = TimingOptimizer(
+            max_passes=options.opt_passes,
+            cells_per_pass=options.opt_cells_per_pass,
+            guardband=options.opt_guardband,
+            recover_power=options.power_recovery,
+        )
+        opt = optimizer.optimize(
+            netlist, placement, period, GraphSTA(), cts.skews, congestion, step_seed()
+        )
+        result.logs.append(
+            StepLog("opt", {"passes": opt.passes, "upsizes": opt.upsizes,
+                            "downsizes": opt.downsizes, "vt_swaps": opt.vt_swaps,
+                            "wns_graph": opt.final_report.wns},
+                    series={"wns": opt.history},
+                    runtime_proxy=opt.total_ops * 8.0 + opt.passes * 50.0)
+        )
+
+        # -- detailed route ----------------------------------------------------
+        drouter = DetailedRouter(
+            max_iterations=options.router_max_iterations, effort=options.router_effort
+        )
+        droute = drouter.route(congestion, step_seed(), self.stop_callback)
+        result.final_drvs = droute.final_drvs
+        result.routed = droute.success
+        result.logs.append(
+            StepLog("droute", {"final_drvs": droute.final_drvs,
+                               "iterations": droute.iterations_run,
+                               "success": float(droute.success)},
+                    series={"drvs": [float(v) for v in droute.drvs_per_iteration]},
+                    runtime_proxy=droute.iterations_run * 120.0)
+        )
+
+        # -- signoff -------------------------------------------------------------
+        signoff = SignoffSTA().analyze(netlist, placement, period, cts.skews, congestion)
+        result.wns = signoff.wns
+        result.tns = signoff.tns
+        result.timing_met = signoff.wns >= 0.0
+        achieved_period = max(1.0, period - signoff.wns)
+        result.achieved_ghz = 1000.0 / achieved_period
+        power = estimate_power(netlist, placement, options.target_clock_ghz)
+        ir_drop_analysis(netlist, placement, power)
+        result.area = netlist.total_area + cts.buffer_area
+        result.power = power.total
+        result.leakage = power.leakage
+        result.logs.append(
+            StepLog("signoff", {"wns": signoff.wns, "tns": signoff.tns,
+                                "violations": float(signoff.n_violations),
+                                "power": power.total,
+                                "ir_drop": power.worst_ir_drop},
+                    runtime_proxy=signoff.runtime_proxy)
+        )
+        result.runtime_proxy = sum(log.runtime_proxy for log in result.logs)
+        return result
+
+
+_LIBRARY = None
+
+
+def _default_library():
+    """Lazily built, shared default library (cells are immutable)."""
+    global _LIBRARY
+    if _LIBRARY is None:
+        from repro.eda.library import make_default_library
+
+        _LIBRARY = make_default_library()
+    return _LIBRARY

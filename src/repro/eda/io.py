@@ -1,0 +1,247 @@
+"""Design interchange: structural Verilog-style netlists, DEF-style placements.
+
+A downstream user needs designs to survive process boundaries.  The
+formats here are deliberately minimal dialects of the real things:
+
+- ``write_verilog`` / ``read_verilog`` — one module, gate-level
+  instances of library cells, explicit port connections;
+- ``write_def`` / ``read_def`` — die area plus one COMPONENTS section
+  with placed locations.
+
+Round-tripping is lossless for everything the substrate models (tested
+by property: parse(write(x)) == x structurally).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.eda.floorplan import Floorplan
+from repro.eda.library import StdCellLibrary
+from repro.eda.netlist import Netlist, NetlistError
+from repro.eda.placement import Placement
+
+#: order of input-port names per pin index (A, B, C like real libraries)
+_PIN_NAMES = ("A", "B", "C", "D")
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a netlist as a structural Verilog module."""
+    ports = list(netlist.primary_inputs) + [
+        po for po in netlist.primary_outputs if po not in netlist.primary_inputs
+    ]
+    lines = [f"module {netlist.name} ({', '.join(_escape(p) for p in ports)});"]
+    for pi in netlist.primary_inputs:
+        lines.append(f"  input {_escape(pi)};")
+    for po in netlist.primary_outputs:
+        lines.append(f"  output {_escape(po)};")
+    internal = [
+        n for n in netlist.nets
+        if n not in netlist.primary_inputs and n not in netlist.primary_outputs
+    ]
+    for net in internal:
+        lines.append(f"  wire {_escape(net)};")
+    for inst in netlist.instances.values():
+        conns = [f".Y({_escape(inst.output_net)})"]
+        for idx, net in enumerate(inst.input_nets):
+            conns.append(f".{_PIN_NAMES[idx]}({_escape(net)})")
+        lines.append(
+            f"  {inst.cell.name} {_escape(inst.name)} ({', '.join(conns)});"
+        )
+    if netlist.clock_net is not None:
+        lines.append(f"  // clock: {_escape(netlist.clock_net)}")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;")
+_DECL_RE = re.compile(r"^\s*(input|output|wire)\s+(\S+)\s*;\s*$")
+_INST_RE = re.compile(r"^\s*(\S+)\s+(\S+)\s*\((.*)\)\s*;\s*$")
+_CONN_RE = re.compile(r"\.(\w+)\(([^)]*)\)")
+_CLOCK_RE = re.compile(r"^\s*//\s*clock:\s*(\S+)\s*$")
+
+
+def read_verilog(text: str, library: StdCellLibrary) -> Netlist:
+    """Parse the structural dialect back into a netlist."""
+    header = _MODULE_RE.search(text)
+    if header is None:
+        raise NetlistError("no module header found")
+    netlist = Netlist(header.group(1), library)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    instances: List[Tuple[str, str, Dict[str, str]]] = []
+    clock = None
+    for line in text.splitlines():
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, name = decl.group(1), _unescape(decl.group(2))
+            if kind == "input":
+                inputs.append(name)
+            elif kind == "output":
+                outputs.append(name)
+            continue
+        clk = _CLOCK_RE.match(line)
+        if clk:
+            clock = _unescape(clk.group(1))
+            continue
+        inst = _INST_RE.match(line)
+        if inst and inst.group(1) not in ("module", "input", "output", "wire"):
+            cell_name, inst_name = inst.group(1), _unescape(inst.group(2))
+            conns = {
+                pin: _unescape(net)
+                for pin, net in _CONN_RE.findall(inst.group(3))
+            }
+            instances.append((cell_name, inst_name, conns))
+
+    for name in inputs:
+        netlist.add_primary_input(name)
+
+    # sequential cells first, with placeholder inputs: their outputs
+    # break the feedback cycles that defeat pure dependency ordering
+    placeholder = inputs[0] if inputs else None
+    rewire: List[Tuple[str, Dict[str, str]]] = []
+    combinational = []
+    for cell_name, inst_name, conns in instances:
+        cell = library.get(cell_name)
+        if cell.is_sequential:
+            if placeholder is None:
+                raise NetlistError("sequential design without primary inputs")
+            netlist.add_instance(inst_name, cell, [placeholder] * cell.n_inputs)
+            rewire.append((inst_name, conns))
+        else:
+            combinational.append((cell_name, inst_name, conns))
+    instances = combinational
+
+    # remaining instances may reference each other's outputs in any
+    # order: create them in dependency order by adding the ready ones
+    pending = list(instances)
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > len(instances) + 2:
+            missing = [i[1] for i in pending]
+            raise NetlistError(f"unresolvable connections for {missing[:5]}")
+        still = []
+        for cell_name, inst_name, conns in pending:
+            cell = library.get(cell_name)
+            input_nets = []
+            ready = True
+            for idx in range(cell.n_inputs):
+                net = conns.get(_PIN_NAMES[idx])
+                if net is None:
+                    raise NetlistError(f"{inst_name}: missing pin {_PIN_NAMES[idx]}")
+                input_nets.append(net)
+                if net not in netlist.nets:
+                    ready = False
+            if not ready:
+                still.append((cell_name, inst_name, conns))
+                continue
+            inst = netlist.add_instance(inst_name, cell, input_nets)
+            declared_out = conns.get("Y")
+            if declared_out != inst.output_net:
+                raise NetlistError(
+                    f"{inst_name}: output {declared_out!r} does not follow the "
+                    f"<name>_o convention"
+                )
+        if len(still) == len(pending):
+            missing = [i[1] for i in still]
+            raise NetlistError(f"unresolvable connections for {missing[:5]}")
+        pending = still
+
+    # rewire the sequential placeholders to their declared connections
+    for inst_name, conns in rewire:
+        inst = netlist.instances[inst_name]
+        for idx in range(inst.cell.n_inputs):
+            declared = conns.get(_PIN_NAMES[idx])
+            if declared is None:
+                raise NetlistError(f"{inst_name}: missing pin {_PIN_NAMES[idx]}")
+            if declared not in netlist.nets:
+                raise NetlistError(f"{inst_name}: unknown net {declared}")
+            old = inst.input_nets[idx]
+            netlist.nets[old].sinks.remove((inst_name, idx))
+            inst.input_nets[idx] = declared
+            netlist.nets[declared].sinks.append((inst_name, idx))
+
+    for po in outputs:
+        netlist.mark_primary_output(po)
+    if clock is not None:
+        netlist.set_clock(clock)
+    netlist.validate()
+    return netlist
+
+
+def _escape(name: str) -> str:
+    return name
+
+
+def _unescape(name: str) -> str:
+    return name
+
+
+# ---------------------------------------------------------------- DEF-style
+def write_def(placement: Placement, units: int = 1000) -> str:
+    """Serialize a placement (die + components) in a DEF-like dialect."""
+    fp = placement.floorplan
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {placement.netlist.name} ;",
+        f"UNITS DISTANCE MICRONS {units} ;",
+        f"DIEAREA ( 0 0 ) ( {int(fp.width * units)} {int(fp.height * units)} ) ;",
+        f"COMPONENTS {len(placement.positions)} ;",
+    ]
+    for name in sorted(placement.positions):
+        x, y = placement.positions[name]
+        cell = placement.netlist.instances[name].cell.name
+        lines.append(
+            f"  - {name} {cell} + PLACED ( {int(round(x * units))} "
+            f"{int(round(y * units))} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+_DEF_UNITS_RE = re.compile(r"UNITS DISTANCE MICRONS (\d+)")
+_DEF_DIE_RE = re.compile(r"DIEAREA \( (\-?\d+) (\-?\d+) \) \( (\-?\d+) (\-?\d+) \)")
+_DEF_COMP_RE = re.compile(
+    r"^\s*-\s+(\S+)\s+(\S+)\s+\+\s+PLACED\s+\(\s*(\-?\d+)\s+(\-?\d+)\s*\)"
+)
+
+
+def read_def(text: str, netlist: Netlist, floorplan: Floorplan = None) -> Placement:
+    """Parse a DEF-like dump back into a placement over ``netlist``.
+
+    ``floorplan`` restores pad positions (DEF carries only the die and
+    component locations); without it a pad-less floorplan of the dumped
+    die size is synthesized.
+    """
+    units_match = _DEF_UNITS_RE.search(text)
+    die_match = _DEF_DIE_RE.search(text)
+    if units_match is None or die_match is None:
+        raise ValueError("not a recognizable DEF dump (missing UNITS/DIEAREA)")
+    units = int(units_match.group(1))
+    width = int(die_match.group(3)) / units
+    height = int(die_match.group(4)) / units
+    if floorplan is None:
+        floorplan = Floorplan(width=width, height=height, utilization=0.7)
+    positions: Dict[str, Tuple[float, float]] = {}
+    for line in text.splitlines():
+        comp = _DEF_COMP_RE.match(line)
+        if comp:
+            name, cell_name = comp.group(1), comp.group(2)
+            inst = netlist.instances.get(name)
+            if inst is None:
+                raise ValueError(f"DEF component {name} not in the netlist")
+            if inst.cell.name != cell_name:
+                raise ValueError(
+                    f"DEF component {name} is {cell_name}, netlist says {inst.cell.name}"
+                )
+            positions[name] = (
+                int(comp.group(3)) / units,
+                int(comp.group(4)) / units,
+            )
+    missing = set(netlist.instances) - set(positions)
+    if missing:
+        raise ValueError(f"DEF is missing {len(missing)} components")
+    return Placement(netlist, floorplan, positions)

@@ -1,0 +1,174 @@
+"""Synthetic 14nm-class standard-cell library.
+
+Cells follow a linear delay model::
+
+    delay(load, slew_in) = intrinsic + drive_resistance * load
+                           + slew_sensitivity * slew_in
+    slew_out(load)       = slew_intrinsic + slew_resistance * load
+
+Units are arbitrary but consistent: time in picoseconds, capacitance in
+femtofarads, area in square microns, power in microwatts.  Three VT
+classes trade leakage for speed (LVT fastest / leakiest, HVT slowest /
+lowest leakage) and four drive strengths trade area/input-cap for drive
+resistance — enough structure for sizing and VT-swap optimization to be
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+# VT class speed/leakage multipliers relative to SVT.
+VT_CLASSES: Dict[str, Tuple[float, float]] = {
+    # name: (delay multiplier, leakage multiplier)
+    "LVT": (0.82, 4.0),
+    "SVT": (1.00, 1.0),
+    "HVT": (1.22, 0.25),
+}
+
+DRIVE_STRENGTHS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell (a specific function/drive/VT combination)."""
+
+    name: str
+    function: str  # e.g. "NAND2"
+    n_inputs: int
+    drive: int  # relative drive strength (1, 2, 4, 8)
+    vt: str  # "LVT" | "SVT" | "HVT"
+    area: float  # um^2
+    input_cap: float  # fF per input pin
+    intrinsic_delay: float  # ps
+    drive_resistance: float  # ps per fF of load
+    slew_sensitivity: float  # ps of delay per ps of input slew
+    slew_intrinsic: float  # ps
+    slew_resistance: float  # ps per fF of load
+    leakage: float  # uW
+    switch_energy: float  # fJ per output toggle
+    is_sequential: bool = False
+
+    def delay(self, load_cap: float, input_slew: float = 10.0) -> float:
+        """Pin-to-pin delay (ps) for a given load and input slew."""
+        if load_cap < 0:
+            raise ValueError("load capacitance must be non-negative")
+        return (
+            self.intrinsic_delay
+            + self.drive_resistance * load_cap
+            + self.slew_sensitivity * input_slew
+        )
+
+    def output_slew(self, load_cap: float) -> float:
+        """Output transition time (ps) for a given load."""
+        if load_cap < 0:
+            raise ValueError("load capacitance must be non-negative")
+        return self.slew_intrinsic + self.slew_resistance * load_cap
+
+
+# Base (X1, SVT) electrical parameters per logic function.
+_BASE_FUNCTIONS = {
+    # function: (n_inputs, area, input_cap, intrinsic, r_drive, slew_sens, seq)
+    "INV": (1, 0.20, 0.8, 4.0, 2.8, 0.10, False),
+    "BUF": (1, 0.27, 0.8, 7.5, 2.4, 0.08, False),
+    "NAND2": (2, 0.29, 1.0, 5.5, 3.3, 0.12, False),
+    "NOR2": (2, 0.29, 1.0, 6.5, 3.8, 0.13, False),
+    "AND2": (2, 0.33, 1.0, 8.0, 3.0, 0.11, False),
+    "OR2": (2, 0.33, 1.0, 8.6, 3.2, 0.11, False),
+    "XOR2": (2, 0.47, 1.4, 10.5, 4.2, 0.16, False),
+    "AOI21": (3, 0.40, 1.1, 7.6, 3.9, 0.14, False),
+    "OAI21": (3, 0.40, 1.1, 7.9, 3.9, 0.14, False),
+    "MUX2": (3, 0.51, 1.2, 9.8, 4.0, 0.15, False),
+    "DFF": (2, 0.87, 1.2, 28.0, 3.6, 0.05, True),
+}
+
+# DFF timing constraints (ps) at X1/SVT; scaled like delays.
+DFF_SETUP = 22.0
+DFF_HOLD = 4.0
+DFF_CLK_TO_Q = 28.0
+
+
+def _make_cell(function: str, drive: int, vt: str) -> Cell:
+    n_in, area, cap, intrinsic, r_drive, slew_sens, seq = _BASE_FUNCTIONS[function]
+    vt_delay, vt_leak = VT_CLASSES[vt]
+    # Larger drive: resistance down ~1/drive, area and input cap up.
+    area_scaled = area * (0.55 + 0.45 * drive)
+    cap_scaled = cap * (0.6 + 0.4 * drive)
+    leakage = 0.012 * area_scaled * vt_leak
+    switch_energy = 0.9 * cap_scaled
+    return Cell(
+        name=f"{function}_X{drive}_{vt}",
+        function=function,
+        n_inputs=n_in,
+        drive=drive,
+        vt=vt,
+        area=round(area_scaled, 4),
+        input_cap=round(cap_scaled, 4),
+        intrinsic_delay=round(intrinsic * vt_delay, 4),
+        drive_resistance=round(r_drive * vt_delay / drive, 4),
+        slew_sensitivity=slew_sens,
+        slew_intrinsic=round(3.0 * vt_delay, 4),
+        slew_resistance=round(2.0 * vt_delay / drive, 4),
+        leakage=round(leakage, 5),
+        switch_energy=round(switch_energy, 4),
+        is_sequential=seq,
+    )
+
+
+@dataclass
+class StdCellLibrary:
+    """A collection of :class:`Cell` objects with lookup helpers."""
+
+    name: str
+    cells: Dict[str, Cell] = field(default_factory=dict)
+    wire_r_per_um: float = 1.2  # ps of Elmore R per um (lumped model)
+    wire_c_per_um: float = 0.25  # fF per um
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell {cell.name}")
+        self.cells[cell.name] = cell
+
+    def get(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(f"no cell named {name!r} in library {self.name}") from None
+
+    def variants(self, function: str) -> List[Cell]:
+        """All drive/VT variants implementing ``function``."""
+        out = [c for c in self.cells.values() if c.function == function]
+        if not out:
+            raise KeyError(f"no cells implement {function!r}")
+        return sorted(out, key=lambda c: (c.drive, c.vt))
+
+    def pick(self, function: str, drive: int = 1, vt: str = "SVT") -> Cell:
+        """The specific variant of ``function`` at (drive, vt)."""
+        return self.get(f"{function}_X{drive}_{vt}")
+
+    def resize(self, cell: Cell, new_drive: int) -> Cell:
+        """Same function and VT at a different drive strength."""
+        if new_drive not in DRIVE_STRENGTHS:
+            raise ValueError(f"unsupported drive {new_drive}")
+        return self.pick(cell.function, new_drive, cell.vt)
+
+    def swap_vt(self, cell: Cell, new_vt: str) -> Cell:
+        """Same function and drive at a different VT class."""
+        if new_vt not in VT_CLASSES:
+            raise ValueError(f"unsupported VT class {new_vt}")
+        return self.pick(cell.function, cell.drive, new_vt)
+
+    @property
+    def functions(self) -> List[str]:
+        return sorted({c.function for c in self.cells.values()})
+
+
+def make_default_library(name: str = "synth14") -> StdCellLibrary:
+    """Build the full synthetic library: 11 functions x 4 drives x 3 VTs."""
+    lib = StdCellLibrary(name=name)
+    for function in _BASE_FUNCTIONS:
+        for drive in DRIVE_STRENGTHS:
+            for vt in VT_CLASSES:
+                lib.add(_make_cell(function, drive, vt))
+    return lib

@@ -1,0 +1,253 @@
+"""Gate-level netlist data model.
+
+A :class:`Netlist` is a set of single-output :class:`Instance` objects
+connected by :class:`Net` objects.  Sequential cells (DFFs) delimit the
+combinational timing graph: a DFF's output pin is a timing startpoint
+and its D input is an endpoint, so the combinational view is a DAG even
+when the sequential circuit has feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.eda.library import Cell, StdCellLibrary
+
+
+@dataclass
+class Net:
+    """A net: one driver, many sinks.
+
+    ``driver`` is an instance name, or ``None`` for a primary input.
+    ``sinks`` holds ``(instance_name, input_pin_index)`` pairs; primary
+    outputs are flagged separately on the netlist.
+    """
+
+    name: str
+    driver: Optional[str] = None
+    sinks: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class Instance:
+    """A placed-or-unplaced occurrence of a library cell."""
+
+    name: str
+    cell: Cell
+    input_nets: List[str]
+    output_net: str
+
+    def __post_init__(self):
+        if len(self.input_nets) != self.cell.n_inputs:
+            raise ValueError(
+                f"instance {self.name}: cell {self.cell.name} has "
+                f"{self.cell.n_inputs} inputs, got {len(self.input_nets)} nets"
+            )
+
+
+class NetlistError(ValueError):
+    """Raised when a netlist violates structural invariants."""
+
+
+class Netlist:
+    """A flat gate-level netlist over one standard-cell library."""
+
+    def __init__(self, name: str, library: StdCellLibrary):
+        self.name = name
+        self.library = library
+        self.instances: Dict[str, Instance] = {}
+        self.nets: Dict[str, Net] = {}
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self.clock_net: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    def add_primary_input(self, net_name: str) -> Net:
+        if net_name in self.nets:
+            raise NetlistError(f"net {net_name} already exists")
+        net = Net(name=net_name, driver=None)
+        self.nets[net_name] = net
+        self.primary_inputs.append(net_name)
+        return net
+
+    def mark_primary_output(self, net_name: str) -> None:
+        if net_name not in self.nets:
+            raise NetlistError(f"unknown net {net_name}")
+        if net_name not in self.primary_outputs:
+            self.primary_outputs.append(net_name)
+
+    def set_clock(self, net_name: str) -> None:
+        if net_name not in self.nets:
+            raise NetlistError(f"unknown net {net_name}")
+        self.clock_net = net_name
+
+    def add_instance(self, name: str, cell: Cell, input_nets: Iterable[str]) -> Instance:
+        """Add an instance; its output net is created as ``<name>_o``."""
+        if name in self.instances:
+            raise NetlistError(f"instance {name} already exists")
+        input_nets = list(input_nets)
+        for net_name in input_nets:
+            if net_name not in self.nets:
+                raise NetlistError(f"instance {name}: unknown input net {net_name}")
+        out_net_name = f"{name}_o"
+        if out_net_name in self.nets:
+            raise NetlistError(f"net {out_net_name} already exists")
+        inst = Instance(name=name, cell=cell, input_nets=input_nets, output_net=out_net_name)
+        self.instances[name] = inst
+        self.nets[out_net_name] = Net(name=out_net_name, driver=name)
+        for pin_idx, net_name in enumerate(input_nets):
+            self.nets[net_name].sinks.append((name, pin_idx))
+        return inst
+
+    def insert_buffer(
+        self, name: str, cell: Cell, net_name: str, sink_instance: str, pin_idx: int
+    ) -> Instance:
+        """Splice a buffer between ``net_name`` and one of its sinks.
+
+        After the call, ``sink_instance``'s pin ``pin_idx`` is driven by
+        the new buffer's output instead of by ``net_name``.  Used for
+        hold fixing (delay padding) and long-net repeaters.
+        """
+        if cell.n_inputs != 1:
+            raise NetlistError(f"{cell.name} is not a single-input buffer/inverter")
+        net = self.nets.get(net_name)
+        if net is None:
+            raise NetlistError(f"unknown net {net_name}")
+        if (sink_instance, pin_idx) not in net.sinks:
+            raise NetlistError(
+                f"net {net_name} does not drive pin {pin_idx} of {sink_instance}"
+            )
+        buffer_inst = self.add_instance(name, cell, [net_name])
+        # move the sink pin onto the buffer's output
+        net.sinks.remove((sink_instance, pin_idx))
+        self.instances[sink_instance].input_nets[pin_idx] = buffer_inst.output_net
+        self.nets[buffer_inst.output_net].sinks.append((sink_instance, pin_idx))
+        return buffer_inst
+
+    def replace_cell(self, instance_name: str, new_cell: Cell) -> None:
+        """Swap an instance's cell in place (sizing / VT swap).
+
+        The new cell must implement the same function with the same pin
+        count; connectivity is untouched.
+        """
+        inst = self.instances[instance_name]
+        if new_cell.function != inst.cell.function:
+            raise NetlistError(
+                f"cannot replace {inst.cell.function} with {new_cell.function}"
+            )
+        inst.cell = new_cell
+
+    # ------------------------------------------------------------------
+    # queries
+    @property
+    def n_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def total_area(self) -> float:
+        return sum(inst.cell.area for inst in self.instances.values())
+
+    @property
+    def total_leakage(self) -> float:
+        return sum(inst.cell.leakage for inst in self.instances.values())
+
+    def sequential_instances(self) -> List[Instance]:
+        return [i for i in self.instances.values() if i.cell.is_sequential]
+
+    def combinational_instances(self) -> List[Instance]:
+        return [i for i in self.instances.values() if not i.cell.is_sequential]
+
+    def net_fanout(self, net_name: str) -> int:
+        net = self.nets[net_name]
+        fanout = len(net.sinks)
+        if net_name in self.primary_outputs:
+            fanout += 1
+        return fanout
+
+    # ------------------------------------------------------------------
+    # validation and ordering
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`NetlistError` on failure."""
+        for net in self.nets.values():
+            if net.driver is None and net.name not in self.primary_inputs:
+                raise NetlistError(f"net {net.name} has no driver and is not a PI")
+            if net.driver is not None and net.driver not in self.instances:
+                raise NetlistError(f"net {net.name} driven by unknown instance {net.driver}")
+            for inst_name, pin_idx in net.sinks:
+                inst = self.instances.get(inst_name)
+                if inst is None:
+                    raise NetlistError(f"net {net.name} sinks unknown instance {inst_name}")
+                if pin_idx >= inst.cell.n_inputs:
+                    raise NetlistError(
+                        f"net {net.name} connects to pin {pin_idx} of {inst_name}, "
+                        f"but {inst.cell.name} has only {inst.cell.n_inputs} inputs"
+                    )
+        for out in self.primary_outputs:
+            if out not in self.nets:
+                raise NetlistError(f"primary output {out} is not a net")
+        # combinational cycles are illegal
+        self.combinational_order()
+
+    def combinational_order(self) -> List[str]:
+        """Topological order of combinational instances.
+
+        Sequential outputs and primary inputs are sources.  Raises
+        :class:`NetlistError` if combinational feedback exists.
+        """
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {name: [] for name in self.instances}
+        for inst in self.combinational_instances():
+            count = 0
+            for net_name in inst.input_nets:
+                driver = self.nets[net_name].driver
+                if driver is not None and not self.instances[driver].cell.is_sequential:
+                    count += 1
+                    dependents[driver].append(inst.name)
+            indegree[inst.name] = count
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for dep in dependents[name]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(indegree):
+            raise NetlistError("combinational cycle detected")
+        return order
+
+    def logic_depth(self) -> int:
+        """Longest combinational path length in gate stages."""
+        depth: Dict[str, int] = {}
+        for name in self.combinational_order():
+            inst = self.instances[name]
+            best = 0
+            for net_name in inst.input_nets:
+                driver = self.nets[net_name].driver
+                if driver is not None and not self.instances[driver].cell.is_sequential:
+                    best = max(best, depth[driver])
+            depth[name] = best + 1
+        return max(depth.values(), default=0)
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics used as ML design features."""
+        n_seq = len(self.sequential_instances())
+        fanouts = [self.net_fanout(n) for n in self.nets]
+        return {
+            "instances": float(self.n_instances),
+            "nets": float(self.n_nets),
+            "flops": float(n_seq),
+            "area": self.total_area,
+            "depth": float(self.logic_depth()),
+            "avg_fanout": float(sum(fanouts) / max(1, len(fanouts))),
+            "max_fanout": float(max(fanouts, default=0)),
+            "pi": float(len(self.primary_inputs)),
+            "po": float(len(self.primary_outputs)),
+        }

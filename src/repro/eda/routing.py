@@ -1,0 +1,375 @@
+"""Routing: global routing with congestion negotiation, and a
+detailed-routing iteration engine with per-iteration DRV accounting.
+
+The global router works on a gcell grid with per-edge capacities,
+decomposes each net into two-pin segments, routes each as the cheaper
+L-shape, and runs a few negotiation rounds that penalize overflowed
+edges (PathFinder-style).  Its product is a *congestion map* — routing
+demand over capacity per gcell.
+
+The detailed router is the substrate for the paper's doomed-run
+experiments (Sec 3.3, Figs 9-10).  Modern detailed routers iterate
+rip-up-and-reroute, and tool logfiles expose one DRV count per
+iteration.  Ours maintains per-gcell violation counts seeded by the
+actual congestion map and evolves them by local fix/spill dynamics:
+violations in gcells with routing slack get fixed; fixing in overloaded
+neighborhoods spills new violations into adjacent gcells.  When total
+demand genuinely exceeds supply the run plateaus (doomed); when supply
+is ample DRVs decay geometrically (successful) — the trajectory classes
+of Fig 9 emerge from the grid state rather than from curve templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.eda.placement import Placement
+
+#: A run "succeeds" if it ends with fewer DRVs than this (paper Sec 3.3).
+SUCCESS_DRV_THRESHOLD = 200
+
+
+@dataclass
+class GlobalRouteResult:
+    """Global routing outcome on an ``ny x nx`` gcell grid."""
+
+    nx: int
+    ny: int
+    demand_h: np.ndarray  # (ny, nx-1) horizontal edge usage
+    demand_v: np.ndarray  # (ny-1, nx) vertical edge usage
+    capacity_h: float
+    capacity_v: float
+    wirelength: float
+
+    @property
+    def overflow(self) -> float:
+        """Total routed demand above capacity, over all edges."""
+        over_h = np.maximum(0.0, self.demand_h - self.capacity_h).sum()
+        over_v = np.maximum(0.0, self.demand_v - self.capacity_v).sum()
+        return float(over_h + over_v)
+
+    @property
+    def max_congestion(self) -> float:
+        """Worst edge demand / capacity ratio."""
+        h = (self.demand_h / self.capacity_h).max() if self.demand_h.size else 0.0
+        v = (self.demand_v / self.capacity_v).max() if self.demand_v.size else 0.0
+        return float(max(h, v))
+
+    def congestion_map(self) -> np.ndarray:
+        """Per-gcell demand/capacity ratio (average of incident edges)."""
+        grid = np.zeros((self.ny, self.nx))
+        counts = np.zeros((self.ny, self.nx))
+        if self.demand_h.size:
+            ratio_h = self.demand_h / self.capacity_h
+            grid[:, :-1] += ratio_h
+            grid[:, 1:] += ratio_h
+            counts[:, :-1] += 1
+            counts[:, 1:] += 1
+        if self.demand_v.size:
+            ratio_v = self.demand_v / self.capacity_v
+            grid[:-1, :] += ratio_v
+            grid[1:, :] += ratio_v
+            counts[:-1, :] += 1
+            counts[1:, :] += 1
+        counts[counts == 0] = 1
+        return grid / counts
+
+
+class GlobalRouter:
+    """Grid-based global router with negotiated congestion."""
+
+    def __init__(
+        self,
+        nx: int = 16,
+        ny: int = 16,
+        tracks_per_um: float = 16.0,
+        negotiation_rounds: int = 3,
+        overflow_penalty: float = 2.0,
+    ):
+        """``tracks_per_um`` is the routing supply density: edge capacity
+        is the gcell boundary length times this (summing the usable
+        metal layers), so supply scales with die size the way real
+        enablement does."""
+        if nx < 2 or ny < 2:
+            raise ValueError("grid must be at least 2x2")
+        if tracks_per_um <= 0:
+            raise ValueError("tracks_per_um must be positive")
+        self.nx = nx
+        self.ny = ny
+        self.tracks_per_um = tracks_per_um
+        self.negotiation_rounds = negotiation_rounds
+        self.overflow_penalty = overflow_penalty
+
+    def route(self, placement: Placement, seed: Optional[int] = None) -> GlobalRouteResult:
+        rng = np.random.default_rng(seed)
+        fp = placement.floorplan
+        netlist = placement.netlist
+        nx, ny = self.nx, self.ny
+        cap_h = self.tracks_per_um * fp.height / ny  # tracks crossing a vertical boundary
+        cap_v = self.tracks_per_um * fp.width / nx
+
+        def gcell(x: float, y: float) -> Tuple[int, int]:
+            i = min(nx - 1, max(0, int(x / fp.width * nx)))
+            j = min(ny - 1, max(0, int(y / fp.height * ny)))
+            return i, j
+
+        # Build two-pin segments per net: chain pins in x order.
+        segments: List[Tuple[int, int, int, int]] = []
+        for net_name, net in netlist.nets.items():
+            if net_name == netlist.clock_net:
+                continue
+            pts = []
+            if net.driver is not None:
+                pts.append(placement.positions[net.driver])
+            pts += [placement.positions[s] for s, _ in net.sinks]
+            pad = fp.pad_positions.get(net_name)
+            if pad is not None:
+                pts.append(pad)
+            if len(pts) < 2:
+                continue
+            pts.sort()
+            for a, b in zip(pts[:-1], pts[1:]):
+                ia, ja = gcell(*a)
+                ib, jb = gcell(*b)
+                if (ia, ja) != (ib, jb):
+                    segments.append((ia, ja, ib, jb))
+
+        demand_h = np.zeros((ny, max(1, nx - 1)))
+        demand_v = np.zeros((max(1, ny - 1), nx))
+        routes: List[Tuple[bool, Tuple[int, int, int, int]]] = []
+
+        def edge_cost_h(j: int, i: int) -> float:
+            over = max(0.0, demand_h[j, i] + 1 - cap_h)
+            return 1.0 + self.overflow_penalty * over
+
+        def edge_cost_v(j: int, i: int) -> float:
+            over = max(0.0, demand_v[j, i] + 1 - cap_v)
+            return 1.0 + self.overflow_penalty * over
+
+        def l_cost(seg, horizontal_first: bool) -> float:
+            ia, ja, ib, jb = seg
+            cost = 0.0
+            if horizontal_first:
+                j = ja
+                for i in range(min(ia, ib), max(ia, ib)):
+                    cost += edge_cost_h(j, i)
+                i = ib
+                for j2 in range(min(ja, jb), max(ja, jb)):
+                    cost += edge_cost_v(j2, i)
+            else:
+                i = ia
+                for j2 in range(min(ja, jb), max(ja, jb)):
+                    cost += edge_cost_v(j2, i)
+                j = jb
+                for i2 in range(min(ia, ib), max(ia, ib)):
+                    cost += edge_cost_h(j, i2)
+            return cost
+
+        def commit(seg, horizontal_first: bool, sign: float) -> None:
+            ia, ja, ib, jb = seg
+            if horizontal_first:
+                for i in range(min(ia, ib), max(ia, ib)):
+                    demand_h[ja, i] += sign
+                for j2 in range(min(ja, jb), max(ja, jb)):
+                    demand_v[j2, ib] += sign
+            else:
+                for j2 in range(min(ja, jb), max(ja, jb)):
+                    demand_v[j2, ia] += sign
+                for i2 in range(min(ia, ib), max(ia, ib)):
+                    demand_h[jb, i2] += sign
+
+        # initial routing pass (random tie-break between the two L shapes)
+        for seg in segments:
+            c_hf = l_cost(seg, True)
+            c_vf = l_cost(seg, False)
+            if abs(c_hf - c_vf) < 1e-9:
+                hf = bool(rng.integers(0, 2))
+            else:
+                hf = c_hf < c_vf
+            commit(seg, hf, +1.0)
+            routes.append((hf, seg))
+
+        # negotiation: rip up and reroute every segment with updated costs
+        for _ in range(self.negotiation_rounds):
+            new_routes = []
+            for hf, seg in routes:
+                commit(seg, hf, -1.0)
+                c_hf = l_cost(seg, True)
+                c_vf = l_cost(seg, False)
+                if abs(c_hf - c_vf) < 1e-9:
+                    new_hf = bool(rng.integers(0, 2))
+                else:
+                    new_hf = c_hf < c_vf
+                commit(seg, new_hf, +1.0)
+                new_routes.append((new_hf, seg))
+            routes = new_routes
+
+        gx = fp.width / nx
+        gy = fp.height / ny
+        wirelength = float(demand_h.sum() * gx + demand_v.sum() * gy)
+        return GlobalRouteResult(
+            nx=nx,
+            ny=ny,
+            demand_h=demand_h,
+            demand_v=demand_v,
+            capacity_h=cap_h,
+            capacity_v=cap_v,
+            wirelength=wirelength,
+        )
+
+
+@dataclass
+class DetailedRouteResult:
+    """Per-iteration DRV trajectory of one detailed-routing run."""
+
+    drvs_per_iteration: List[int]
+    success: bool
+    iterations_run: int
+    stopped_early: bool = False
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def final_drvs(self) -> int:
+        return self.drvs_per_iteration[-1] if self.drvs_per_iteration else 0
+
+    @property
+    def initial_drvs(self) -> int:
+        return self.drvs_per_iteration[0] if self.drvs_per_iteration else 0
+
+
+class DetailedRouter:
+    """Rip-up-and-reroute iteration engine over a congestion grid.
+
+    ``effort`` in (0, 1] scales the per-iteration fix rate (a router
+    effort knob); ``max_iterations`` defaults to 20 as in the paper's
+    Fig 9 ("modern detailed routers default to 20-40 iterations").
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 20,
+        effort: float = 0.6,
+        drv_seed_rate: float = 30.0,
+        spill_rate: float = 0.55,
+        shock_prob: float = 0.3,
+        shock_frac: float = 0.6,
+    ):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0.0 < effort <= 1.0:
+            raise ValueError("effort must be in (0, 1]")
+        if not 0.0 <= shock_prob <= 1.0:
+            raise ValueError("shock_prob must be in [0, 1]")
+        self.max_iterations = max_iterations
+        self.effort = effort
+        self.drv_seed_rate = drv_seed_rate
+        self.spill_rate = spill_rate
+        self.shock_prob = shock_prob
+        self.shock_frac = shock_frac
+
+    def route(
+        self,
+        congestion: np.ndarray,
+        seed: Optional[int] = None,
+        stop_callback=None,
+    ) -> DetailedRouteResult:
+        """Run detailed routing against a gcell congestion map.
+
+        ``congestion`` is demand/capacity per gcell (from
+        :meth:`GlobalRouteResult.congestion_map`).  ``stop_callback``,
+        if given, is called after each iteration with the DRV history;
+        returning True terminates the run early (the hook the doomed-run
+        predictor uses).
+        """
+        cong = np.asarray(congestion, dtype=float)
+        if cong.ndim != 2:
+            raise ValueError("congestion map must be 2-D")
+        rng = np.random.default_rng(seed)
+
+        # Seed violations: grows sharply where demand exceeds ~90% of capacity.
+        excess = np.maximum(0.0, cong - 0.9)
+        lam = self.drv_seed_rate * (excess * 10.0) ** 1.5 + 0.3 * cong
+        violations = rng.poisson(lam).astype(float)
+
+        history: List[int] = [int(violations.sum())]
+        stopped = False
+        iterations = 0
+        for _ in range(self.max_iterations):
+            iterations += 1
+            violations = self._iterate(violations, cong, rng)
+            history.append(int(violations.sum()))
+            if stop_callback is not None and stop_callback(list(history)):
+                stopped = True
+                break
+            if history[-1] == 0:
+                break
+
+        return DetailedRouteResult(
+            drvs_per_iteration=history,
+            success=history[-1] < SUCCESS_DRV_THRESHOLD and not stopped,
+            iterations_run=iterations,
+            stopped_early=stopped,
+            metadata={
+                "mean_congestion": float(cong.mean()),
+                "max_congestion": float(cong.max()),
+                "overflow_fraction": float((cong > 1.0).mean()),
+            },
+        )
+
+    def _iterate(
+        self, violations: np.ndarray, cong: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        # fix probability: high where the gcell has routing slack
+        slack = 1.0 - cong
+        p_fix = self.effort * _sigmoid(6.0 * slack + 0.5)
+        fixed = rng.binomial(violations.astype(int), np.clip(p_fix, 0.0, 1.0))
+        # rip-up spillover: fixes in congested neighborhoods push DRVs
+        # into adjacent gcells instead of removing them
+        neighborhood = _box_mean(cong)
+        p_spill = self.spill_rate * _sigmoid(8.0 * (neighborhood - 1.0))
+        spilled = rng.binomial(fixed, np.clip(p_spill, 0.0, 1.0))
+        remaining = violations - fixed
+        incoming = _scatter_to_neighbors(spilled, rng)
+        out = np.maximum(0.0, remaining + incoming)
+        # reroute shock: opening a region for rip-up occasionally exposes
+        # new violations (pin access, via shorts) in proportion to local
+        # demand — this makes even healthy runs non-monotone
+        if self.shock_prob > 0 and rng.random() < self.shock_prob:
+            total = out.sum()
+            if total > 0:
+                lam = self.shock_frac * total * cong / max(1e-9, cong.sum())
+                out = out + rng.poisson(lam)
+        return out
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -50, 50)))
+
+
+def _box_mean(grid: np.ndarray) -> np.ndarray:
+    """3x3 neighborhood mean with edge replication."""
+    padded = np.pad(grid, 1, mode="edge")
+    out = np.zeros_like(grid)
+    for dj in range(3):
+        for di in range(3):
+            out += padded[dj : dj + grid.shape[0], di : di + grid.shape[1]]
+    return out / 9.0
+
+
+def _scatter_to_neighbors(counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Move each count into a random 4-neighbor gcell (multinomial split)."""
+    out = np.zeros_like(counts, dtype=float)
+    ny, nx = counts.shape
+    js, is_ = np.nonzero(counts)
+    if js.size == 0:
+        return out
+    n_per_cell = counts[js, is_].astype(int)
+    draws = np.stack([rng.multinomial(n, [0.25] * 4) for n in n_per_cell])
+    for d, (dj, di) in enumerate(((0, 1), (0, -1), (1, 0), (-1, 0))):
+        tj = np.clip(js + dj, 0, ny - 1)
+        ti = np.clip(is_ + di, 0, nx - 1)
+        np.add.at(out, (tj, ti), draws[:, d])
+    return out

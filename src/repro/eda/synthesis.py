@@ -1,0 +1,182 @@
+"""Netlist generation ("synthesis lite").
+
+The substrate has no RTL front end; instead a :class:`DesignSpec`
+describes a design's macro-structure (gate count, register count, logic
+depth, fanout character, function mix) and :func:`synthesize` emits a
+mapped gate-level netlist with that structure.  Generation is seeded, so
+the same spec and seed reproduce the same netlist, while synthesis
+*effort* changes real structure (depth vs area tradeoff) the way a logic
+restructuring engine would.
+
+Profiles for the designs the paper uses (a PULPino RISC-V core, an
+embedded CPU, and artificial "eyechart" layouts) live in
+:mod:`repro.bench.generators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.eda.library import StdCellLibrary
+from repro.eda.netlist import Netlist
+
+#: Default mix of combinational functions (probabilities sum to 1).
+DEFAULT_FUNCTION_MIX: Dict[str, float] = {
+    "INV": 0.16,
+    "NAND2": 0.22,
+    "NOR2": 0.14,
+    "AND2": 0.08,
+    "OR2": 0.07,
+    "XOR2": 0.09,
+    "AOI21": 0.10,
+    "OAI21": 0.07,
+    "MUX2": 0.07,
+}
+
+
+@dataclass
+class DesignSpec:
+    """Macro-structure of a design to generate.
+
+    ``depth`` is the *natural* logic depth before restructuring;
+    ``locality`` in (0, 1] biases gate inputs toward recent logic levels
+    (higher = deeper, more serial logic).  ``function_mix`` overrides the
+    default gate-type distribution.
+    """
+
+    name: str
+    n_gates: int = 600
+    n_flops: int = 64
+    n_inputs: int = 32
+    n_outputs: int = 32
+    depth: int = 14
+    locality: float = 0.75
+    function_mix: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_FUNCTION_MIX))
+
+    def __post_init__(self):
+        if self.n_gates < 1:
+            raise ValueError("n_gates must be >= 1")
+        if self.n_flops < 1:
+            raise ValueError("n_flops must be >= 1 (designs are sequential)")
+        if self.n_inputs < 1 or self.n_outputs < 1:
+            raise ValueError("need at least one input and one output")
+        if self.depth < 2:
+            raise ValueError("depth must be >= 2")
+        if not 0.0 < self.locality <= 1.0:
+            raise ValueError("locality must be in (0, 1]")
+        total = sum(self.function_mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError("function_mix probabilities must sum to 1")
+
+
+def synthesize(
+    spec: DesignSpec,
+    library: StdCellLibrary,
+    effort: float = 0.5,
+    seed: Optional[int] = None,
+) -> Netlist:
+    """Generate a mapped netlist implementing ``spec``.
+
+    ``effort`` in [0, 1] trades area for depth the way restructuring
+    does: effort 0 keeps the natural depth; effort 1 shortens the depth
+    by ~35% but inflates gate count by up to ~12% (duplication and
+    buffering).  Structure choices are drawn from ``seed``, which is the
+    source of run-to-run synthesis noise.
+    """
+    if not 0.0 <= effort <= 1.0:
+        raise ValueError("effort must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    netlist = Netlist(spec.name, library)
+
+    for i in range(spec.n_inputs):
+        netlist.add_primary_input(f"pi{i}")
+    clock = netlist.add_primary_input("clk")
+    netlist.set_clock(clock.name)
+
+    # Restructuring: higher effort -> shallower target depth, more gates.
+    target_depth = max(3, int(round(spec.depth * (1.0 - 0.35 * effort))))
+    n_gates = int(round(spec.n_gates * (1.0 + 0.12 * effort)))
+
+    # DFF outputs are combinational sources. Their D inputs are wired
+    # after the combinational cloud exists (two-pass construction).
+    flop_names = []
+    placeholder = "pi0"  # temporary D connection, rewired below
+    for i in range(spec.n_flops):
+        name = f"ff{i}"
+        netlist.add_instance(name, library.pick("DFF"), [placeholder, clock.name])
+        flop_names.append(name)
+
+    # Level-0 signals available as gate inputs.
+    signals = [f"pi{i}" for i in range(spec.n_inputs)]
+    signals += [netlist.instances[f].output_net for f in flop_names]
+    level_of = {s: 0 for s in signals}
+
+    functions = list(spec.function_mix.keys())
+    probs = np.array([spec.function_mix[f] for f in functions])
+    probs = probs / probs.sum()
+
+    gates_per_level = max(1, n_gates // target_depth)
+    gate_idx = 0
+    by_level: list = [list(signals)]  # signals available per level
+    for level in range(1, target_depth + 1):
+        by_level.append([])
+        count = gates_per_level if level < target_depth else n_gates - gate_idx
+        level_choices = rng.choice(len(functions), p=probs, size=max(0, count))
+        for k in range(max(0, count)):
+            function = functions[int(level_choices[k])]
+            cell = library.pick(function)
+            inputs = _pick_inputs(by_level, cell.n_inputs, level, spec.locality, rng)
+            name = f"g{gate_idx}"
+            inst = netlist.add_instance(name, cell, inputs)
+            signals.append(inst.output_net)
+            level_of[inst.output_net] = level
+            by_level[level].append(inst.output_net)
+            gate_idx += 1
+
+    # Wire flop D inputs and primary outputs to late (deep) signals.
+    deep = [s for s in signals if level_of[s] >= max(1, target_depth - 2)]
+    if not deep:
+        deep = signals[-spec.n_flops:]
+    for flop in flop_names:
+        d_net = deep[int(rng.integers(0, len(deep)))]
+        inst = netlist.instances[flop]
+        old = inst.input_nets[0]
+        netlist.nets[old].sinks.remove((flop, 0))
+        inst.input_nets[0] = d_net
+        netlist.nets[d_net].sinks.append((flop, 0))
+    for i in range(spec.n_outputs):
+        netlist.mark_primary_output(deep[int(rng.integers(0, len(deep)))])
+
+    netlist.validate()
+    return netlist
+
+
+def _pick_inputs(by_level, n_inputs, level, locality, rng) -> list:
+    """Choose input nets with a recency (locality) bias.
+
+    Two-stage draw: pick a source level with weight
+    ``locality^distance * |level|``, then a uniform signal within it —
+    O(depth) per input instead of O(total signals).
+    """
+    level_weights = np.array(
+        [locality ** (level - 1 - lv) * len(by_level[lv]) for lv in range(level)]
+    )
+    total = level_weights.sum()
+    if total <= 0:
+        raise ValueError("no candidate signals below the current level")
+    level_weights = level_weights / total
+    picked = []
+    seen = set()
+    for _ in range(n_inputs):
+        for _attempt in range(4):  # a few tries for distinctness
+            lv = int(rng.choice(level, p=level_weights))
+            pool = by_level[lv]
+            candidate = pool[int(rng.integers(0, len(pool)))]
+            if candidate not in seen:
+                break
+        seen.add(candidate)
+        picked.append(candidate)
+    return picked

@@ -1,0 +1,133 @@
+"""The feedback path: predictions drive the flow without a human.
+
+The paper's retrospective item (iii): "a reimplementation of METRICS
+should feed predictions and guidance back into the design flow, which
+would then adapt tool/flow parameters midstream without human
+intervention."  :class:`AdaptiveFlowSession` is that loop: seed runs
+populate the server, the miner recommends settings, the flow runs them,
+and each result immediately improves the next recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.eda.flow import FlowOptions, FlowResult
+from repro.eda.synthesis import DesignSpec
+from repro.metrics.miner import DataMiner
+from repro.metrics.server import MetricsServer
+from repro.metrics.wrappers import InstrumentedFlow
+
+#: miner option names -> FlowOptions attributes
+_OPTION_ATTR = {
+    "option.synth_effort": "synth_effort",
+    "option.utilization": "utilization",
+    "option.cts_effort": "cts_effort",
+    "option.router_effort": "router_effort",
+    "option.opt_guardband": "opt_guardband",
+    "flow.target_ghz": "target_clock_ghz",
+}
+
+
+@dataclass
+class AdaptiveFlowSession:
+    """A self-improving flow campaign on one design.
+
+    ``run_campaign`` executes ``n_seed`` exploratory runs (random
+    settings in sensible ranges) followed by ``n_adaptive`` runs at the
+    miner's recommendation, refreshed after every result.
+    """
+
+    spec: DesignSpec
+    objective: str = "flow.area"
+    minimize: bool = True
+    server: MetricsServer = field(default_factory=MetricsServer)
+    seed: int = 0
+    history: List[FlowResult] = field(default_factory=list)
+    n_seed_runs: int = 0  # set by run_campaign; history[:n_seed_runs] are seeds
+
+    def run_campaign(
+        self,
+        n_seed: int = 10,
+        n_adaptive: int = 6,
+        base_options: Optional[FlowOptions] = None,
+    ) -> FlowResult:
+        """Returns the best successful result (or the best overall)."""
+        if n_seed < 8:
+            raise ValueError("need at least 8 seed runs for the miner")
+        rng = np.random.default_rng(self.seed)
+        flow = InstrumentedFlow(self.server)
+        base = base_options or FlowOptions()
+
+        for i in range(n_seed):
+            options = base.with_(
+                synth_effort=float(rng.uniform(0.2, 0.9)),
+                utilization=float(rng.uniform(0.55, 0.85)),
+                cts_effort=float(rng.uniform(0.3, 0.9)),
+                router_effort=float(rng.uniform(0.4, 0.9)),
+                opt_guardband=float(rng.uniform(0.0, 50.0)),
+                target_clock_ghz=float(
+                    base.target_clock_ghz * rng.uniform(0.85, 1.1)
+                ),
+            )
+            self.history.append(
+                flow.run(self.spec, options, seed=int(rng.integers(0, 2**31 - 1)))
+            )
+        self.n_seed_runs = len(self.history)
+
+        miner = DataMiner(self.server, seed=self.seed)
+        for i in range(n_adaptive):
+            rec = miner.recommend_options(
+                objective=self.objective,
+                minimize=self.minimize,
+                design=self.spec.name,
+            )
+            options = self._materialize(base, rec.options)
+            self.history.append(
+                flow.run(self.spec, options, seed=int(rng.integers(0, 2**31 - 1)))
+            )
+        return self.best_result()
+
+    def _materialize(self, base: FlowOptions, mined: Dict[str, float]) -> FlowOptions:
+        updates = {}
+        for metric, attr in _OPTION_ATTR.items():
+            if metric in mined:
+                updates[attr] = float(np.clip(
+                    mined[metric],
+                    *_ATTR_BOUNDS[attr],
+                ))
+        return base.with_(**updates)
+
+    def best_result(self) -> FlowResult:
+        if not self.history:
+            raise RuntimeError("campaign has not run")
+        successes = [r for r in self.history if r.success]
+        pool = successes or self.history
+        key = (lambda r: r.area) if self.minimize else (lambda r: -r.area)
+        if self.objective == "flow.achieved_ghz":
+            key = lambda r: -r.achieved_ghz  # noqa: E731
+        return min(pool, key=key)
+
+    def improvement(self) -> float:
+        """Best adaptive-phase area over best seed-phase area, over
+        successful runs (< 1.0 means the feedback loop helped)."""
+        if self.n_seed_runs == 0 or len(self.history) <= self.n_seed_runs:
+            raise RuntimeError("campaign has not run")
+        seeds = [r for r in self.history[: self.n_seed_runs] if r.success]
+        adaptive = [r for r in self.history[self.n_seed_runs :] if r.success]
+        if not seeds or not adaptive:
+            return 1.0
+        return min(a.area for a in adaptive) / min(s.area for s in seeds)
+
+
+_ATTR_BOUNDS = {
+    "synth_effort": (0.0, 1.0),
+    "utilization": (0.4, 0.9),
+    "cts_effort": (0.0, 1.0),
+    "router_effort": (0.2, 1.0),
+    "opt_guardband": (0.0, 120.0),
+    "target_clock_ghz": (0.1, 2.0),
+}

@@ -1,0 +1,108 @@
+"""Wrapper-script-style logfile parsing.
+
+The original METRICS collected data "by either a wrapper script or an
+API call from within the tools".  :class:`~repro.metrics.wrappers.InstrumentedFlow`
+is the API path; this module is the wrapper-script path — it parses the
+flow's *text* logfile (:meth:`FlowResult.log_text`) with regular
+expressions, exactly the way METRICS wrapped Cadence Silicon Ensemble,
+and transmits what it finds.  Useful when only logs survive (archived
+runs, third-party tools).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.schema import VOCABULARY
+from repro.metrics.server import MetricsServer
+from repro.metrics.transmitter import Transmitter
+
+_HEADER_RE = re.compile(
+    r"# SP&R flow log: design=(\S+) seed=(\d+) target=([\d.]+)GHz"
+)
+_METRIC_RE = re.compile(r"^(\w+)\.(\w+) = (-?[\d.]+(?:e[+-]?\d+)?)$")
+_SERIES_RE = re.compile(r"^(\w+)\.(\w+)\[(\d+)\] = (-?[\d.]+(?:e[+-]?\d+)?)$")
+
+
+class FlowLogParseError(ValueError):
+    """Raised when a text log is not a recognizable flow log."""
+
+
+def parse_flow_log(text: str) -> Tuple[Dict[str, str], Dict[str, float], Dict[str, List[float]]]:
+    """Parse a flow text log.
+
+    Returns ``(header, metrics, series)`` where header holds design /
+    seed / target, metrics maps ``step.key`` to the last reported value,
+    and series maps ``step.key`` to per-iteration lists (e.g. the
+    detailed router's DRV trajectory).
+    """
+    header_match = _HEADER_RE.search(text)
+    if header_match is None:
+        raise FlowLogParseError("missing flow-log header line")
+    header = {
+        "design": header_match.group(1),
+        "seed": header_match.group(2),
+        "target_ghz": header_match.group(3),
+    }
+    metrics: Dict[str, float] = {}
+    series: Dict[str, List[float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        series_match = _SERIES_RE.match(line)
+        if series_match:
+            key = f"{series_match.group(1)}.{series_match.group(2)}"
+            idx = int(series_match.group(3))
+            values = series.setdefault(key, [])
+            while len(values) <= idx:
+                values.append(0.0)
+            values[idx] = float(series_match.group(4))
+            continue
+        metric_match = _METRIC_RE.match(line)
+        if metric_match:
+            key = f"{metric_match.group(1)}.{metric_match.group(2)}"
+            metrics[key] = float(metric_match.group(3))
+    if not metrics:
+        raise FlowLogParseError("no metrics found in the log")
+    return header, metrics, series
+
+
+def transmit_flow_log(
+    text: str,
+    server: MetricsServer,
+    run_id: str,
+    tool: str = "spr_flow",
+) -> int:
+    """Parse a text log and transmit every vocabulary metric found.
+
+    Non-vocabulary lines are skipped (the wrapper tolerates log-format
+    drift, per METRICS lesson (1): tool outputs change constantly).
+    Returns the number of records transmitted.
+    """
+    header, metrics, series = parse_flow_log(text)
+    sent = 0
+    with Transmitter(server, header["design"], run_id, tool) as tx:
+        tx.send("flow.target_ghz", float(header["target_ghz"]))
+        sent += 1
+        for key, value in metrics.items():
+            if key in VOCABULARY:
+                tx.send(key, value)
+                sent += 1
+        drvs = series.get("droute.drvs")
+        if drvs and "droute.final_drvs" in VOCABULARY:
+            tx.send("droute.final_drvs", drvs[-1])
+            sent += 1
+    return sent
+
+
+def drv_trajectory_from_log(text: str) -> Optional[List[int]]:
+    """Extract the detailed router's DRV series from a text log.
+
+    This is the exact signal the doomed-run predictors consume — the
+    wrapper path lets them train from archived logfiles alone.
+    """
+    _, _, series = parse_flow_log(text)
+    drvs = series.get("droute.drvs")
+    if drvs is None:
+        return None
+    return [int(v) for v in drvs]

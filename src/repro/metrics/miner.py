@@ -1,0 +1,202 @@
+"""The METRICS data miner.
+
+The original system's validation: "mining and sensitivity analyses with
+respect to final design QOR enabled prediction of best design-specific
+tool option settings" and "METRICS was also used to prescribe
+achievable clock frequency for given designs".  Both are reproduced
+here on top of the server's run table, using the in-house ML kit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metrics.server import MetricsServer
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.metrics import r2_score
+from repro.ml.scaling import StandardScaler
+
+#: metrics that are *settings* (inputs), not outcomes
+OPTION_METRICS = (
+    "option.synth_effort",
+    "option.utilization",
+    "option.cts_effort",
+    "option.router_effort",
+    "option.opt_guardband",
+    "flow.target_ghz",
+)
+
+#: metrics describing the design itself (usable as predictor features)
+DESIGN_METRICS = ("synth.instances", "synth.depth", "synth.area")
+
+
+@dataclass
+class OptionRecommendation:
+    """The miner's advice: option settings and their predicted QoR."""
+
+    options: Dict[str, float]
+    predicted_objective: float
+    model_r2: float
+
+
+class DataMiner:
+    """Learns QoR models from collected runs and answers flow questions."""
+
+    def __init__(self, server: MetricsServer, seed: Optional[int] = None):
+        self.server = server
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _table(self, design: Optional[str]):
+        run_ids, names, matrix = self.server.table(design)
+        index = {name: i for i, name in enumerate(names)}
+        return run_ids, names, matrix, index
+
+    def sensitivity(
+        self, objective: str = "flow.area", design: Optional[str] = None
+    ) -> Dict[str, float]:
+        """|correlation| of each option metric with the objective.
+
+        The simple screen the original METRICS ran: which knobs move
+        this design's QoR at all?"""
+        _, names, matrix, index = self._table(design)
+        if objective not in index:
+            raise KeyError(f"objective {objective!r} not collected")
+        y = matrix[:, index[objective]]
+        out = {}
+        for option in OPTION_METRICS:
+            if option not in index:
+                continue
+            x = matrix[:, index[option]]
+            if np.std(x) == 0 or np.std(y) == 0:
+                out[option] = 0.0
+            else:
+                out[option] = float(abs(np.corrcoef(x, y)[0, 1]))
+        return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+    # ------------------------------------------------------------------
+    def recommend_options(
+        self,
+        objective: str = "flow.area",
+        minimize: bool = True,
+        design: Optional[str] = None,
+        require_success: bool = True,
+        n_candidates: int = 400,
+    ) -> OptionRecommendation:
+        """Best option settings for an objective, from a learned model.
+
+        Fits a random forest (options -> objective) on collected runs,
+        then searches candidate settings drawn from the observed option
+        ranges.  ``require_success`` also fits a success model and
+        rejects candidates predicted to fail."""
+        run_ids, names, matrix, index = self._table(design)
+        present = [o for o in OPTION_METRICS if o in index]
+        if not present:
+            raise ValueError("no option metrics collected")
+        if objective not in index:
+            raise KeyError(f"objective {objective!r} not collected")
+        if len(run_ids) < 8:
+            raise ValueError("need at least 8 runs to mine recommendations")
+        X = matrix[:, [index[o] for o in present]]
+        y = matrix[:, index[objective]]
+        model = RandomForestRegressor(n_estimators=40, max_depth=6, random_state=self.seed)
+        model.fit(X, y)
+        r2 = r2_score(y, model.predict(X))
+
+        success_model = None
+        if require_success and "flow.success" in index:
+            s = matrix[:, index["flow.success"]]
+            if 0.0 < s.mean() < 1.0:
+                success_model = RandomForestRegressor(
+                    n_estimators=40, max_depth=6, random_state=self.seed
+                )
+                success_model.fit(X, s)
+
+        rng = np.random.default_rng(self.seed)
+        lo, hi = X.min(axis=0), X.max(axis=0)
+        candidates = rng.uniform(lo, hi, size=(n_candidates, X.shape[1]))
+        # include the observed settings themselves
+        candidates = np.vstack([candidates, X])
+        pred = model.predict(candidates)
+        if success_model is not None:
+            ok = success_model.predict(candidates) >= 0.5
+            if ok.any():
+                pred = np.where(ok, pred, np.inf if minimize else -np.inf)
+        best = int(np.argmin(pred) if minimize else np.argmax(pred))
+        return OptionRecommendation(
+            options=dict(zip(present, candidates[best].tolist())),
+            predicted_objective=float(pred[best]),
+            model_r2=r2,
+        )
+
+    # ------------------------------------------------------------------
+    def flag_anomalies(
+        self,
+        objective: str = "flow.area",
+        design: Optional[str] = None,
+        z_threshold: float = 3.0,
+    ) -> Dict[str, float]:
+        """Runs whose objective deviates wildly from the learned model.
+
+        The METRICS retrospective's "measure, to improve": a run whose
+        QoR the option->QoR model cannot explain is either tool noise
+        worth investigating or a setup mistake.  Returns
+        {run_id: z-score} for flagged runs.
+        """
+        if z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        run_ids, names, matrix, index = self._table(design)
+        present = [o for o in OPTION_METRICS if o in index]
+        if objective not in index or len(present) < 1:
+            raise ValueError("server lacks the metrics needed for anomaly analysis")
+        if len(run_ids) < 8:
+            raise ValueError("need at least 8 runs")
+        X = matrix[:, [index[o] for o in present]]
+        y = matrix[:, index[objective]]
+        model = RandomForestRegressor(n_estimators=40, max_depth=6, random_state=self.seed)
+        model.fit(X, y)
+        residuals = y - model.predict(X)
+        scale = float(np.std(residuals))
+        if scale == 0.0:
+            return {}
+        z = residuals / scale
+        return {
+            run_ids[i]: float(z[i])
+            for i in range(len(run_ids))
+            if abs(z[i]) > z_threshold
+        }
+
+    # ------------------------------------------------------------------
+    def prescribe_frequency(
+        self, design_features: Dict[str, float], quantile: float = 0.5
+    ) -> float:
+        """Achievable clock frequency for a new design (METRICS
+        validation use-case: clock planning guidance from the database).
+
+        Fits achieved frequency against design-descriptor metrics over
+        *successful* runs of all designs, then predicts for the given
+        feature vector.  ``quantile`` shifts the prescription
+        conservative (<0.5) or aggressive (>0.5) using the residual
+        distribution."""
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        _, names, matrix, index = self._table(None)
+        needed = [m for m in DESIGN_METRICS if m in index]
+        if len(needed) < 2 or "flow.achieved_ghz" not in index:
+            raise ValueError("server lacks the metrics needed for prescription")
+        success = matrix[:, index["flow.success"]] > 0.5 if "flow.success" in index else np.ones(matrix.shape[0], bool)
+        X = matrix[np.ix_(success, [index[m] for m in needed])]
+        y = matrix[success, index["flow.achieved_ghz"]]
+        if X.shape[0] < 5:
+            raise ValueError("need at least 5 successful runs")
+        scaler = StandardScaler()
+        model = RidgeRegression(alpha=1.0)
+        model.fit(scaler.fit_transform(X), y)
+        residuals = y - model.predict(scaler.transform(X))
+        query = np.array([[design_features[m] for m in needed]])
+        base = float(model.predict(scaler.transform(query))[0])
+        return base + float(np.quantile(residuals, quantile))

@@ -1,0 +1,114 @@
+"""Metric records and the common METRICS vocabulary.
+
+Lesson (2) of the paper's METRICS retrospective: "a common METRICS
+vocabulary across different vendors is also important.  Design metrics
+... reported from one tool should have the same semantics when reported
+by another tool."  The vocabulary below is the single source of metric
+names; records with unknown names are rejected at transmission time.
+
+Records encode to the XML wire format of the original system.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from xml.etree import ElementTree
+
+#: metric name -> (unit, description)
+VOCABULARY: Dict[str, tuple] = {
+    "synth.instances": ("count", "mapped instances after synthesis"),
+    "synth.depth": ("stages", "longest combinational path in gates"),
+    "synth.area": ("um2", "total standard-cell area"),
+    "floorplan.width": ("um", "core width"),
+    "floorplan.height": ("um", "core height"),
+    "floorplan.utilization": ("ratio", "cell area over core area"),
+    "place.hpwl": ("um", "half-perimeter wirelength"),
+    "place.density_max": ("ratio", "worst bin utilization"),
+    "cts.skew": ("ps", "global clock skew"),
+    "cts.buffers": ("count", "clock buffers inserted"),
+    "groute.overflow": ("tracks", "total routing demand above capacity"),
+    "groute.max_congestion": ("ratio", "worst edge demand/capacity"),
+    "groute.wirelength": ("um", "global-route wirelength"),
+    "opt.sizing_ops": ("count", "sizing/VT operations performed"),
+    "opt.wns_graph": ("ps", "worst negative slack, embedded timer"),
+    "droute.final_drvs": ("count", "design-rule violations at completion"),
+    "droute.iterations": ("count", "rip-up-and-reroute iterations run"),
+    "signoff.wns": ("ps", "worst negative slack, signoff timer"),
+    "signoff.tns": ("ps", "total negative slack, signoff timer"),
+    "signoff.power": ("uW", "total power at target frequency"),
+    "signoff.ir_drop": ("ratio", "worst supply droop fraction"),
+    "flow.area": ("um2", "final block area"),
+    "flow.achieved_ghz": ("GHz", "achieved clock frequency"),
+    "flow.runtime": ("work", "total tool work proxy"),
+    "flow.success": ("bool", "timing met and routed clean"),
+    "flow.target_ghz": ("GHz", "target clock frequency"),
+    # option settings are first-class metrics so the miner can learn them
+    "option.synth_effort": ("ratio", "synthesis restructuring effort"),
+    "option.utilization": ("ratio", "placement utilization target"),
+    "option.cts_effort": ("ratio", "CTS effort"),
+    "option.router_effort": ("ratio", "detailed-router effort"),
+    "option.opt_guardband": ("ps", "optimizer pessimism margin"),
+}
+
+_NAME_RE = re.compile(r"^[a-z_]+\.[a-z_]+$")
+
+
+def validate_metric_name(name: str) -> str:
+    """Return ``name`` if it is in the vocabulary; raise otherwise."""
+    if not _NAME_RE.match(name or ""):
+        raise ValueError(f"malformed metric name {name!r}")
+    if name not in VOCABULARY:
+        raise ValueError(f"metric {name!r} is not in the METRICS vocabulary")
+    return name
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    """One (design, run, tool, metric, value) observation."""
+
+    design: str
+    run_id: str
+    tool: str
+    metric: str
+    value: float
+    sequence: int = 0  # transmission order within the run
+    attributes: Optional[Dict[str, str]] = field(default=None)
+
+    def __post_init__(self):
+        validate_metric_name(self.metric)
+
+    def to_xml(self) -> str:
+        """Encode as the METRICS XML wire format."""
+        elem = ElementTree.Element(
+            "metric",
+            design=self.design,
+            run=self.run_id,
+            tool=self.tool,
+            name=self.metric,
+            value=repr(float(self.value)),
+            seq=str(self.sequence),
+        )
+        if self.attributes:
+            for key, val in sorted(self.attributes.items()):
+                ElementTree.SubElement(elem, "attr", name=key, value=val)
+        return ElementTree.tostring(elem, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "MetricRecord":
+        elem = ElementTree.fromstring(text)
+        if elem.tag != "metric":
+            raise ValueError(f"unexpected element {elem.tag!r}")
+        attributes = {
+            child.get("name"): child.get("value") for child in elem.findall("attr")
+        } or None
+        return cls(
+            design=elem.get("design"),
+            run_id=elem.get("run"),
+            tool=elem.get("tool"),
+            metric=elem.get("name"),
+            value=float(elem.get("value")),
+            sequence=int(elem.get("seq", "0")),
+            attributes=attributes,
+        )

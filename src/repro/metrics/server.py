@@ -1,0 +1,130 @@
+"""The METRICS server: central collection and query.
+
+In-memory store with optional JSON-lines persistence — "reimplementing
+METRICS with today's commodity networking, database and cloud
+technologies will be much simpler compared to the initial
+implementation" (the original used Enterprise Java Beans and servlets;
+a dictionary and a flat file suffice here).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.metrics.schema import MetricRecord
+
+
+class MetricsServer:
+    """Collects :class:`MetricRecord` streams and answers queries."""
+
+    def __init__(self, persist_path: Optional[str] = None):
+        self._records: List[MetricRecord] = []
+        self._by_run: Dict[str, List[MetricRecord]] = {}
+        self.persist_path = Path(persist_path) if persist_path else None
+        if self.persist_path and self.persist_path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    def receive(self, record: MetricRecord) -> None:
+        """Ingest one record (transmitters call this)."""
+        self._records.append(record)
+        self._by_run.setdefault(record.run_id, []).append(record)
+        if self.persist_path:
+            with self.persist_path.open("a") as fh:
+                fh.write(json.dumps(self._encode(record)) + "\n")
+
+    def receive_xml(self, xml_text: str) -> None:
+        self.receive(MetricRecord.from_xml(xml_text))
+
+    # ------------------------------------------------------------------
+    def runs(self, design: Optional[str] = None) -> List[str]:
+        """Run ids, optionally restricted to one design."""
+        if design is None:
+            return list(self._by_run)
+        return sorted(
+            {r.run_id for r in self._records if r.design == design}
+        )
+
+    def query(
+        self,
+        design: Optional[str] = None,
+        tool: Optional[str] = None,
+        metric: Optional[str] = None,
+        run_id: Optional[str] = None,
+    ) -> List[MetricRecord]:
+        out = self._by_run.get(run_id, self._records) if run_id else self._records
+        return [
+            r
+            for r in out
+            if (design is None or r.design == design)
+            and (tool is None or r.tool == tool)
+            and (metric is None or r.metric == metric)
+        ]
+
+    def run_vector(self, run_id: str) -> Dict[str, float]:
+        """All metrics of one run as a flat {metric: value} mapping.
+
+        When a metric is reported more than once in a run, the last
+        report wins (tools overwrite as they refine)."""
+        records = self._by_run.get(run_id)
+        if not records:
+            raise KeyError(f"unknown run {run_id!r}")
+        out: Dict[str, float] = {}
+        for record in sorted(records, key=lambda r: r.sequence):
+            out[record.metric] = record.value
+        return out
+
+    def table(self, design: Optional[str] = None):
+        """(run_ids, metric_names, matrix) over complete runs.
+
+        Only metrics present in every selected run are kept, so the
+        matrix is dense — what the data miner consumes."""
+        import numpy as np
+
+        run_ids = self.runs(design)
+        if not run_ids:
+            raise ValueError("no runs collected")
+        vectors = [self.run_vector(r) for r in run_ids]
+        common = set(vectors[0])
+        for vec in vectors[1:]:
+            common &= set(vec)
+        names = sorted(common)
+        matrix = np.array([[vec[m] for m in names] for vec in vectors])
+        return run_ids, names, matrix
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(record: MetricRecord) -> dict:
+        return {
+            "design": record.design,
+            "run_id": record.run_id,
+            "tool": record.tool,
+            "metric": record.metric,
+            "value": record.value,
+            "sequence": record.sequence,
+            "attributes": record.attributes,
+        }
+
+    def _load(self) -> None:
+        with self.persist_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                record = MetricRecord(
+                    design=data["design"],
+                    run_id=data["run_id"],
+                    tool=data["tool"],
+                    metric=data["metric"],
+                    value=data["value"],
+                    sequence=data.get("sequence", 0),
+                    attributes=data.get("attributes"),
+                )
+                self._records.append(record)
+                self._by_run.setdefault(record.run_id, []).append(record)

@@ -1,0 +1,73 @@
+"""Transmitters move records from tools to the server.
+
+The original METRICS collected data "by either a wrapper script or an
+API call from within the tools", buffered and XML-encoded in transit.
+The transmitter validates names against the vocabulary before sending —
+garbage never reaches the server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.metrics.schema import MetricRecord
+from repro.metrics.server import MetricsServer
+
+
+class Transmitter:
+    """Buffered, validated channel from one tool run to the server."""
+
+    def __init__(
+        self,
+        server: MetricsServer,
+        design: str,
+        run_id: str,
+        tool: str,
+        use_xml: bool = True,
+        buffer_size: int = 32,
+    ):
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        self.server = server
+        self.design = design
+        self.run_id = run_id
+        self.tool = tool
+        self.use_xml = use_xml
+        self.buffer_size = buffer_size
+        self._buffer: list = []
+        self._sequence = 0
+
+    def send(self, metric: str, value: float, attributes: Optional[Dict[str, str]] = None) -> None:
+        """Queue one metric (validated immediately, flushed in batches)."""
+        record = MetricRecord(
+            design=self.design,
+            run_id=self.run_id,
+            tool=self.tool,
+            metric=metric,
+            value=float(value),
+            sequence=self._sequence,
+            attributes=attributes,
+        )
+        self._sequence += 1
+        self._buffer.append(record)
+        if len(self._buffer) >= self.buffer_size:
+            self.flush()
+
+    def send_many(self, metrics: Dict[str, float]) -> None:
+        for name, value in metrics.items():
+            self.send(name, value)
+
+    def flush(self) -> None:
+        """Deliver everything queued (XML round-trip when enabled)."""
+        for record in self._buffer:
+            if self.use_xml:
+                self.server.receive_xml(record.to_xml())
+            else:
+                self.server.receive(record)
+        self._buffer.clear()
+
+    def __enter__(self) -> "Transmitter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.flush()

@@ -1,0 +1,109 @@
+"""Tool instrumentation: the flow reporting into METRICS.
+
+:class:`InstrumentedFlow` wraps :class:`~repro.eda.flow.SPRFlow` the
+way the original METRICS wrapped Cadence Silicon Ensemble: every step's
+logfile metrics are extracted and transmitted, along with the option
+settings that produced them (options are first-class metrics so the
+miner can learn option -> QoR maps).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
+from repro.eda.synthesis import DesignSpec
+from repro.metrics.schema import VOCABULARY
+from repro.metrics.server import MetricsServer
+from repro.metrics.transmitter import Transmitter
+
+_RUN_COUNTER = itertools.count()
+
+#: flow StepLog metrics -> vocabulary names
+_STEP_METRICS = {
+    ("synth", "instances"): "synth.instances",
+    ("synth", "depth"): "synth.depth",
+    ("synth", "area"): "synth.area",
+    ("floorplan", "width"): "floorplan.width",
+    ("floorplan", "height"): "floorplan.height",
+    ("floorplan", "utilization"): "floorplan.utilization",
+    ("place", "hpwl"): "place.hpwl",
+    ("place", "density_max"): "place.density_max",
+    ("cts", "skew"): "cts.skew",
+    ("cts", "buffers"): "cts.buffers",
+    ("groute", "overflow"): "groute.overflow",
+    ("groute", "max_congestion"): "groute.max_congestion",
+    ("groute", "wirelength"): "groute.wirelength",
+    ("opt", "wns_graph"): "opt.wns_graph",
+    ("droute", "final_drvs"): "droute.final_drvs",
+    ("droute", "iterations"): "droute.iterations",
+    ("signoff", "wns"): "signoff.wns",
+    ("signoff", "tns"): "signoff.tns",
+    ("signoff", "power"): "signoff.power",
+    ("signoff", "ir_drop"): "signoff.ir_drop",
+}
+
+_OPTION_METRICS = {
+    "synth_effort": "option.synth_effort",
+    "utilization": "option.utilization",
+    "cts_effort": "option.cts_effort",
+    "router_effort": "option.router_effort",
+    "opt_guardband": "option.opt_guardband",
+}
+
+
+class InstrumentedFlow:
+    """An SP&R flow whose every run reports into a METRICS server."""
+
+    def __init__(self, server: MetricsServer, stop_callback=None):
+        self.server = server
+        self.flow = SPRFlow(stop_callback=stop_callback)
+
+    def run(
+        self,
+        spec: DesignSpec,
+        options: FlowOptions,
+        seed: int = 0,
+        run_id: Optional[str] = None,
+    ) -> FlowResult:
+        result = self.flow.run(spec, options, seed=seed)
+        run_id = run_id or f"{spec.name}-r{next(_RUN_COUNTER):06d}"
+        self.report(result, run_id)
+        return result
+
+    def report(self, result: FlowResult, run_id: str) -> None:
+        """Extract and transmit a completed run's metrics."""
+        with Transmitter(self.server, result.design, run_id, tool="spr_flow") as tx:
+            for log in result.logs:
+                for key, value in log.metrics.items():
+                    vocab_name = _STEP_METRICS.get((log.step, key))
+                    if vocab_name is not None:
+                        tx.send(vocab_name, value)
+            # sizing work is split across several counters in the log
+            opt_logs = [log for log in result.logs if log.step == "opt"]
+            if opt_logs:
+                ops = sum(
+                    log.metrics.get("upsizes", 0)
+                    + log.metrics.get("downsizes", 0)
+                    + log.metrics.get("vt_swaps", 0)
+                    for log in opt_logs
+                )
+                tx.send("opt.sizing_ops", ops)
+            tx.send("flow.area", result.area)
+            tx.send("flow.achieved_ghz", result.achieved_ghz)
+            tx.send("flow.runtime", result.runtime_proxy)
+            tx.send("flow.success", float(result.success))
+            tx.send("flow.target_ghz", result.options.target_clock_ghz)
+            for attr, vocab_name in _OPTION_METRICS.items():
+                tx.send(vocab_name, float(getattr(result.options, attr)))
+
+
+def coverage() -> float:
+    """Fraction of the vocabulary the flow instrumentation exercises."""
+    produced = set(_STEP_METRICS.values()) | set(_OPTION_METRICS.values())
+    produced |= {
+        "opt.sizing_ops", "flow.area", "flow.achieved_ghz", "flow.runtime",
+        "flow.success", "flow.target_ghz",
+    }
+    return len(produced & set(VOCABULARY)) / len(VOCABULARY)

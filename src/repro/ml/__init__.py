@@ -1,0 +1,56 @@
+"""From-scratch machine-learning substrate used by the core library.
+
+The paper's thesis is that ML must pervade EDA tools and flows.  This
+package provides the learning machinery every ``repro.core`` subsystem
+builds on: linear models, tree ensembles, discrete hidden Markov models,
+finite Markov decision processes, clustering, and model-evaluation
+metrics.  Everything is implemented on top of numpy only (no sklearn),
+so the whole reproduction is self-contained.
+"""
+
+from repro.ml.linear import LinearRegression, RidgeRegression, PolynomialFeatures
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaling import StandardScaler, MinMaxScaler
+from repro.ml.trees import DecisionTreeRegressor, DecisionTreeClassifier
+from repro.ml.forest import RandomForestRegressor, RandomForestClassifier
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.cluster import KMeans
+from repro.ml.hmm import DiscreteHMM
+from repro.ml.mdp import FiniteMDP, value_iteration, policy_iteration
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    root_mean_squared_error,
+    r2_score,
+    accuracy_score,
+    confusion_matrix,
+)
+from repro.ml.model_selection import train_test_split, KFold, cross_val_score
+
+__all__ = [
+    "LinearRegression",
+    "LogisticRegression",
+    "RidgeRegression",
+    "PolynomialFeatures",
+    "StandardScaler",
+    "MinMaxScaler",
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "RandomForestRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingRegressor",
+    "KMeans",
+    "DiscreteHMM",
+    "FiniteMDP",
+    "value_iteration",
+    "policy_iteration",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "accuracy_score",
+    "confusion_matrix",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+]

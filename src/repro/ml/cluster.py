@@ -1,0 +1,99 @@
+"""Clustering: k-means (Lloyd's algorithm with k-means++ seeding)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Used by the data miner to group tool runs into behaviour regimes and
+    by the big-valley landscape analysis to find solution clusters.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        random_state: Optional[int] = None,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+
+    def fit(self, X) -> "KMeans":
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[0] < self.n_clusters:
+            raise ValueError("need at least n_clusters samples")
+        rng = np.random.default_rng(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._single_run(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def _single_run(self, X: np.ndarray, rng: np.random.Generator):
+        centers = self._kmeanspp(X, rng)
+        labels = np.zeros(X.shape[0], dtype=int)
+        for _ in range(self.max_iter):
+            dists = self._sq_distances(X, centers)
+            labels = np.argmin(dists, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if members.shape[0] > 0:
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # re-seed empty cluster at the farthest point
+                    far = int(np.argmax(dists.min(axis=1)))
+                    new_centers[k] = X[far]
+            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        dists = self._sq_distances(X, centers)
+        labels = np.argmin(dists, axis=1)
+        inertia = float(np.sum(dists[np.arange(X.shape[0]), labels]))
+        return centers, labels, inertia
+
+    def _kmeanspp(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centers = [X[rng.integers(0, n)]]
+        for _ in range(1, self.n_clusters):
+            d2 = self._sq_distances(X, np.stack(centers)).min(axis=1)
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[rng.integers(0, n)])
+                continue
+            probs = d2 / total
+            centers.append(X[rng.choice(n, p=probs)])
+        return np.stack(centers)
+
+    @staticmethod
+    def _sq_distances(X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        diff = X[:, None, :] - centers[None, :, :]
+        return np.sum(diff * diff, axis=2)
+
+    def predict(self, X) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return np.argmin(self._sq_distances(X, self.cluster_centers_), axis=1)

@@ -1,0 +1,112 @@
+"""Bagged tree ensembles (random forests)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.trees import DecisionTreeClassifier, DecisionTreeRegressor, _as_2d
+
+
+class _BaseForest:
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        random_state: Optional[int] = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.estimators_: list = []
+
+    def _n_candidate_features(self, n_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "third":
+            return max(1, n_features // 3)
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"unsupported max_features: {self.max_features!r}")
+
+    def fit(self, X, y):
+        X = _as_2d(X)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        m = self._n_candidate_features(X.shape[1])
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = self._make_tree(m, int(rng.integers(0, 2**31 - 1)))
+            tree.fit(X[idx], y[idx])
+            self.estimators_.append(tree)
+        return self
+
+
+class RandomForestRegressor(_BaseForest):
+    """Bootstrap-aggregated regression trees; prediction is the mean."""
+
+    def _make_tree(self, max_features, seed):
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=max_features,
+            random_state=seed,
+        )
+
+    def predict(self, X) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted; call fit() first")
+        preds = np.stack([t.predict(X) for t in self.estimators_])
+        return preds.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bootstrap-aggregated classification trees; prediction by majority vote."""
+
+    def _make_tree(self, max_features, seed):
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=max_features,
+            random_state=seed,
+        )
+
+    def predict_proba(self, X) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted; call fit() first")
+        # Align per-tree probabilities onto the union of classes.
+        classes = self.classes_
+        index = {c: i for i, c in enumerate(classes)}
+        X = _as_2d(X)
+        agg = np.zeros((X.shape[0], len(classes)))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            for j, c in enumerate(tree.classes_):
+                agg[:, index[c]] += proba[:, j]
+        return agg / len(self.estimators_)
+
+    @property
+    def classes_(self) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted; call fit() first")
+        all_classes = np.concatenate([t.classes_ for t in self.estimators_])
+        return np.unique(all_classes)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

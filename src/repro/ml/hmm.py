@@ -1,0 +1,154 @@
+"""Discrete hidden Markov model (Rabiner-style).
+
+The paper (Sec 3.3) points to HMMs [36] as one way to treat tool logfile
+data as a time series for doomed-run prediction.  This module implements
+a discrete-observation HMM with scaled forward-backward, Baum-Welch
+training over multiple sequences, Viterbi decoding, and per-sequence
+log-likelihood scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+class DiscreteHMM:
+    """HMM with ``n_states`` hidden states and ``n_symbols`` discrete symbols.
+
+    Parameters are row-stochastic: ``startprob_`` (n_states,),
+    ``transmat_`` (n_states, n_states), ``emissionprob_``
+    (n_states, n_symbols).
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_symbols: int,
+        n_iter: int = 50,
+        tol: float = 1e-4,
+        random_state: Optional[int] = None,
+    ):
+        if n_states < 1 or n_symbols < 1:
+            raise ValueError("n_states and n_symbols must be >= 1")
+        self.n_states = n_states
+        self.n_symbols = n_symbols
+        self.n_iter = n_iter
+        self.tol = tol
+        self.random_state = random_state
+        rng = np.random.default_rng(random_state)
+        self.startprob_ = _normalize_rows(rng.random(n_states)[None, :])[0]
+        self.transmat_ = _normalize_rows(rng.random((n_states, n_states)) + 0.5)
+        self.emissionprob_ = _normalize_rows(rng.random((n_states, n_symbols)) + 0.5)
+
+    # ------------------------------------------------------------------
+    def _check_sequence(self, obs: Sequence[int]) -> np.ndarray:
+        arr = np.asarray(obs, dtype=int).reshape(-1)
+        if arr.shape[0] == 0:
+            raise ValueError("observation sequence is empty")
+        if arr.min() < 0 or arr.max() >= self.n_symbols:
+            raise ValueError("observation symbol out of range")
+        return arr
+
+    def _forward(self, obs: np.ndarray):
+        """Scaled forward pass; returns (alpha, scale factors)."""
+        T = obs.shape[0]
+        alpha = np.zeros((T, self.n_states))
+        scale = np.zeros(T)
+        alpha[0] = self.startprob_ * self.emissionprob_[:, obs[0]]
+        scale[0] = alpha[0].sum() or 1e-300
+        alpha[0] /= scale[0]
+        for t in range(1, T):
+            alpha[t] = (alpha[t - 1] @ self.transmat_) * self.emissionprob_[:, obs[t]]
+            scale[t] = alpha[t].sum() or 1e-300
+            alpha[t] /= scale[t]
+        return alpha, scale
+
+    def _backward(self, obs: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        T = obs.shape[0]
+        beta = np.zeros((T, self.n_states))
+        beta[-1] = 1.0
+        for t in range(T - 2, -1, -1):
+            beta[t] = (self.transmat_ @ (self.emissionprob_[:, obs[t + 1]] * beta[t + 1]))
+            beta[t] /= scale[t + 1]
+        return beta
+
+    def score(self, obs: Sequence[int]) -> float:
+        """Log-likelihood of one observation sequence under the model."""
+        arr = self._check_sequence(obs)
+        _, scale = self._forward(arr)
+        return float(np.sum(np.log(scale)))
+
+    def fit(self, sequences: Iterable[Sequence[int]]) -> "DiscreteHMM":
+        """Baum-Welch over multiple observation sequences."""
+        seqs = [self._check_sequence(s) for s in sequences]
+        if not seqs:
+            raise ValueError("need at least one training sequence")
+        prev_ll = -np.inf
+        for _ in range(self.n_iter):
+            start_acc = np.zeros(self.n_states)
+            trans_num = np.zeros((self.n_states, self.n_states))
+            trans_den = np.zeros(self.n_states)
+            emis_num = np.zeros((self.n_states, self.n_symbols))
+            emis_den = np.zeros(self.n_states)
+            total_ll = 0.0
+            for obs in seqs:
+                T = obs.shape[0]
+                alpha, scale = self._forward(obs)
+                beta = self._backward(obs, scale)
+                total_ll += float(np.sum(np.log(scale)))
+                gamma = alpha * beta
+                gamma = gamma / np.maximum(gamma.sum(axis=1, keepdims=True), 1e-300)
+                start_acc += gamma[0]
+                for t in range(T - 1):
+                    xi = (
+                        alpha[t][:, None]
+                        * self.transmat_
+                        * self.emissionprob_[:, obs[t + 1]][None, :]
+                        * beta[t + 1][None, :]
+                    )
+                    s = xi.sum()
+                    if s > 0:
+                        xi /= s
+                    trans_num += xi
+                    trans_den += gamma[t]
+                for t in range(T):
+                    emis_num[:, obs[t]] += gamma[t]
+                    emis_den += gamma[t]
+            self.startprob_ = start_acc / start_acc.sum()
+            self.transmat_ = trans_num / np.maximum(trans_den[:, None], 1e-300)
+            self.transmat_ = _normalize_rows(self.transmat_ + 1e-12)
+            self.emissionprob_ = emis_num / np.maximum(emis_den[:, None], 1e-300)
+            self.emissionprob_ = _normalize_rows(self.emissionprob_ + 1e-12)
+            if abs(total_ll - prev_ll) < self.tol:
+                break
+            prev_ll = total_ll
+        return self
+
+    def viterbi(self, obs: Sequence[int]) -> np.ndarray:
+        """Most likely hidden-state path (log-space Viterbi)."""
+        arr = self._check_sequence(obs)
+        T = arr.shape[0]
+        log_start = np.log(np.maximum(self.startprob_, 1e-300))
+        log_trans = np.log(np.maximum(self.transmat_, 1e-300))
+        log_emit = np.log(np.maximum(self.emissionprob_, 1e-300))
+        delta = np.zeros((T, self.n_states))
+        psi = np.zeros((T, self.n_states), dtype=int)
+        delta[0] = log_start + log_emit[:, arr[0]]
+        for t in range(1, T):
+            cand = delta[t - 1][:, None] + log_trans
+            psi[t] = np.argmax(cand, axis=0)
+            delta[t] = cand[psi[t], np.arange(self.n_states)] + log_emit[:, arr[t]]
+        path = np.zeros(T, dtype=int)
+        path[-1] = int(np.argmax(delta[-1]))
+        for t in range(T - 2, -1, -1):
+            path[t] = psi[t + 1][path[t + 1]]
+        return path
+
+
+def _normalize_rows(mat: np.ndarray) -> np.ndarray:
+    mat = np.asarray(mat, dtype=float)
+    sums = mat.sum(axis=1, keepdims=True)
+    sums[sums == 0.0] = 1.0
+    return mat / sums

@@ -1,0 +1,127 @@
+"""Linear models: ordinary least squares, ridge, polynomial features.
+
+These are the workhorses of the analysis-correlation application
+(paper Sec 3.2): given cheap graph-based STA features, predict the
+signoff tool's result.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+
+def _as_2d(X) -> np.ndarray:
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"X must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+class LinearRegression:
+    """Ordinary least squares via the pseudo-inverse.
+
+    Attributes after :meth:`fit`: ``coef_`` (per-feature weights) and
+    ``intercept_``.
+    """
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "LinearRegression":
+        X = _as_2d(X)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self.fit_intercept:
+            A = np.hstack([np.ones((X.shape[0], 1)), X])
+        else:
+            A = X
+        w, *_ = np.linalg.lstsq(A, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(w[0])
+            self.coef_ = w[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = w
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = _as_2d(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"feature-count mismatch: fitted with {self.coef_.shape[0]}, got {X.shape[1]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularized least squares.
+
+    The intercept is never penalized.  ``alpha`` is the regularization
+    strength; ``alpha=0`` degenerates to OLS.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        super().__init__(fit_intercept=fit_intercept)
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X = _as_2d(X)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            Xc, yc = X, y
+        n_feat = Xc.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_feat)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        if self.fit_intercept:
+            self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        else:
+            self.intercept_ = 0.0
+        return self
+
+
+class PolynomialFeatures:
+    """Expand features with all monomials up to ``degree``.
+
+    Matches the usual convention: for input ``(a, b)`` and degree 2 the
+    output columns are ``a, b, a^2, ab, b^2`` (no bias column; the
+    downstream linear model adds its own intercept).
+    """
+
+    def __init__(self, degree: int = 2):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = int(degree)
+
+    def transform(self, X) -> np.ndarray:
+        X = _as_2d(X)
+        n_samples, n_features = X.shape
+        cols = []
+        for deg in range(1, self.degree + 1):
+            for combo in combinations_with_replacement(range(n_features), deg):
+                col = np.ones(n_samples)
+                for idx in combo:
+                    col = col * X[:, idx]
+                cols.append(col)
+        return np.stack(cols, axis=1)

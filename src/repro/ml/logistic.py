@@ -1,0 +1,87 @@
+"""Binary logistic regression (Newton / IRLS).
+
+Used by the doomed-run logistic baseline and by success-probability
+models in the prediction package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LogisticRegression:
+    """L2-regularized binary logistic regression via IRLS.
+
+    Labels are coerced to {0, 1}; ``alpha`` is the ridge penalty on the
+    weights (never on the intercept).
+    """
+
+    def __init__(self, alpha: float = 1e-3, max_iter: int = 50, tol: float = 1e-8):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y).reshape(-1).astype(float)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        labels = np.unique(y)
+        if not np.all(np.isin(labels, (0.0, 1.0))):
+            raise ValueError("labels must be 0/1")
+        if labels.size < 2:
+            # degenerate: one class; predict it with certainty-ish odds
+            self.coef_ = np.zeros(X.shape[1])
+            self.intercept_ = 10.0 if labels[0] == 1.0 else -10.0
+            return self
+
+        n, d = X.shape
+        A = np.hstack([np.ones((n, 1)), X])
+        w = np.zeros(d + 1)
+        penalty = self.alpha * np.eye(d + 1)
+        penalty[0, 0] = 0.0  # don't shrink the intercept
+        for _ in range(self.max_iter):
+            z = A @ w
+            p = _sigmoid(z)
+            gradient = A.T @ (p - y) + penalty @ w
+            weights = np.maximum(p * (1.0 - p), 1e-8)
+            hessian = (A * weights[:, None]).T @ A + penalty
+            step = np.linalg.solve(hessian, gradient)
+            w = w - step
+            if float(np.max(np.abs(step))) < self.tol:
+                break
+        self.intercept_ = float(w[0])
+        self.coef_ = w[1:]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(y=1 | x) per row."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"feature-count mismatch: fitted with {self.coef_.shape[0]}, got {X.shape[1]}"
+            )
+        return _sigmoid(X @ self.coef_ + self.intercept_)
+
+    def predict(self, X) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))

@@ -1,0 +1,94 @@
+"""Finite Markov decision processes: value iteration and policy iteration.
+
+The doomed-run predictor (paper Sec 3.3, Fig 10) derives a "blackjack
+strategy card" by policy iteration over an MDP whose states are binned
+logfile observations and whose actions are GO/STOP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FiniteMDP:
+    """A finite MDP given by explicit transition and reward tensors.
+
+    ``transitions[a, s, s']`` is P(s' | s, a); each ``transitions[a, s]``
+    row must sum to 1 (absorbing states self-loop).  ``rewards[a, s]`` is
+    the expected immediate reward for taking action ``a`` in state ``s``.
+    """
+
+    transitions: np.ndarray  # (n_actions, n_states, n_states)
+    rewards: np.ndarray  # (n_actions, n_states)
+    gamma: float = 0.95
+
+    def __post_init__(self):
+        self.transitions = np.asarray(self.transitions, dtype=float)
+        self.rewards = np.asarray(self.rewards, dtype=float)
+        if self.transitions.ndim != 3:
+            raise ValueError("transitions must have shape (A, S, S)")
+        n_a, n_s, n_s2 = self.transitions.shape
+        if n_s != n_s2:
+            raise ValueError("transition matrices must be square")
+        if self.rewards.shape != (n_a, n_s):
+            raise ValueError("rewards must have shape (A, S)")
+        if not 0.0 <= self.gamma < 1.0:
+            raise ValueError("gamma must be in [0, 1)")
+        row_sums = self.transitions.sum(axis=2)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ValueError("every transitions[a, s] row must sum to 1")
+
+    @property
+    def n_states(self) -> int:
+        return self.transitions.shape[1]
+
+    @property
+    def n_actions(self) -> int:
+        return self.transitions.shape[0]
+
+    def q_values(self, values: np.ndarray) -> np.ndarray:
+        """Q(a, s) given a state-value vector."""
+        return self.rewards + self.gamma * np.einsum(
+            "ast,t->as", self.transitions, values
+        )
+
+
+def value_iteration(mdp: FiniteMDP, tol: float = 1e-8, max_iter: int = 10_000):
+    """Solve an MDP by value iteration.
+
+    Returns ``(values, policy)`` where ``policy[s]`` is the greedy action.
+    """
+    values = np.zeros(mdp.n_states)
+    for _ in range(max_iter):
+        q = mdp.q_values(values)
+        new_values = q.max(axis=0)
+        if float(np.max(np.abs(new_values - values))) < tol:
+            values = new_values
+            break
+        values = new_values
+    policy = np.argmax(mdp.q_values(values), axis=0)
+    return values, policy
+
+
+def policy_iteration(mdp: FiniteMDP, max_iter: int = 1_000):
+    """Solve an MDP by Howard policy iteration (exact policy evaluation).
+
+    Returns ``(values, policy)``.  Policy evaluation solves the linear
+    system ``(I - gamma * P_pi) v = r_pi`` exactly.
+    """
+    n_s = mdp.n_states
+    policy = np.zeros(n_s, dtype=int)
+    identity = np.eye(n_s)
+    for _ in range(max_iter):
+        p_pi = mdp.transitions[policy, np.arange(n_s), :]
+        r_pi = mdp.rewards[policy, np.arange(n_s)]
+        values = np.linalg.solve(identity - mdp.gamma * p_pi, r_pi)
+        q = mdp.q_values(values)
+        new_policy = np.argmax(q, axis=0)
+        if np.array_equal(new_policy, policy):
+            return values, policy
+        policy = new_policy
+    return values, policy

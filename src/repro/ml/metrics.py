@@ -1,0 +1,80 @@
+"""Model-evaluation metrics (regression and classification)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_1d(a) -> np.ndarray:
+    arr = np.asarray(a, dtype=float)
+    return arr.reshape(-1)
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error between two equal-length vectors."""
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(yt, yp)
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error between two equal-length vectors."""
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(yt, yp)
+    return float(np.mean((yt - yp) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 1.0 for a perfect fit.  When ``y_true`` is constant the score
+    is 1.0 for a perfect prediction and 0.0 otherwise (the degenerate
+    convention avoids division by zero).
+    """
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(yt, yp)
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - np.mean(yt)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching labels."""
+    yt = np.asarray(y_true).reshape(-1)
+    yp = np.asarray(y_pred).reshape(-1)
+    _check_lengths(yt, yp)
+    return float(np.mean(yt == yp))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true label i predicted as j.
+
+    ``labels`` fixes row/column order; by default the sorted union of
+    observed labels is used.
+    """
+    yt = np.asarray(y_true).reshape(-1)
+    yp = np.asarray(y_pred).reshape(-1)
+    _check_lengths(yt, yp)
+    if labels is None:
+        labels = sorted(set(yt.tolist()) | set(yp.tolist()))
+    index = {lab: i for i, lab in enumerate(labels)}
+    mat = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(yt.tolist(), yp.tolist()):
+        mat[index[t], index[p]] += 1
+    return mat
+
+
+def _check_lengths(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"length mismatch: y_true has {a.shape[0]} entries, y_pred has {b.shape[0]}"
+        )
+    if a.shape[0] == 0:
+        raise ValueError("metrics are undefined for empty inputs")

@@ -1,0 +1,70 @@
+"""Dataset splitting and cross-validation utilities."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def train_test_split(X, y, test_size: float = 0.25, random_state: Optional[int] = None):
+    """Random split into train/test partitions.
+
+    Returns ``(X_train, X_test, y_train, y_test)``; each partition is
+    non-empty for any ``test_size`` strictly between 0 and 1 and at least
+    two samples.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y have different numbers of rows")
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    n_test = min(n - 1, max(1, int(round(n * test_size))))
+    rng = np.random.default_rng(random_state)
+    perm = rng.permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X):
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValueError("more splits than samples")
+        indices = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for k in range(self.n_splits):
+            test_idx = folds[k]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != k])
+            yield train_idx, test_idx
+
+
+def cross_val_score(model_factory, X, y, scorer, n_splits: int = 5, random_state: Optional[int] = None):
+    """Cross-validated scores for a model built by ``model_factory()``.
+
+    ``scorer(y_true, y_pred)`` maps to a float; returns one score per fold.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits, random_state=random_state).split(X):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(float(scorer(y[test_idx], model.predict(X[test_idx]))))
+    return np.array(scores)

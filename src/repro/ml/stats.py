@@ -1,0 +1,194 @@
+"""Statistical tests and distribution fits used in noise characterization.
+
+The paper (Fig 3 right, citing [29][15]) asserts that SP&R tool noise is
+essentially Gaussian.  These helpers quantify that claim for our
+simulated flow: moment-based normality testing (Jarque-Bera) and a
+chi-square goodness-of-fit against a fitted normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NormalFit:
+    """A fitted normal distribution with test statistics."""
+
+    mean: float
+    std: float
+    skewness: float
+    excess_kurtosis: float
+    jarque_bera: float
+    jb_pvalue: float
+
+    @property
+    def looks_gaussian(self) -> bool:
+        """True when the Jarque-Bera test does not reject at 1%."""
+        return self.jb_pvalue > 0.01
+
+
+def skewness(x) -> float:
+    """Sample skewness (biased, moment-based)."""
+    arr = np.asarray(x, dtype=float).reshape(-1)
+    if arr.shape[0] < 3:
+        raise ValueError("need at least 3 samples")
+    centered = arr - arr.mean()
+    s = arr.std()
+    if s == 0:
+        return 0.0
+    return float(np.mean(centered**3) / s**3)
+
+
+def excess_kurtosis(x) -> float:
+    """Sample excess kurtosis (biased, moment-based; 0 for a normal)."""
+    arr = np.asarray(x, dtype=float).reshape(-1)
+    if arr.shape[0] < 4:
+        raise ValueError("need at least 4 samples")
+    centered = arr - arr.mean()
+    s = arr.std()
+    if s == 0:
+        return 0.0
+    return float(np.mean(centered**4) / s**4 - 3.0)
+
+
+def _chi2_sf(x: float, df: int) -> float:
+    """Survival function of the chi-square distribution.
+
+    Uses the regularized upper incomplete gamma via a series/continued
+    fraction (Numerical Recipes style), so no scipy dependency.
+    """
+    if x < 0:
+        return 1.0
+    a = df / 2.0
+    x2 = x / 2.0
+    if x2 < a + 1.0:
+        return 1.0 - _gammainc_lower(a, x2)
+    return _gammainc_upper(a, x2)
+
+
+def _gammainc_lower(a: float, x: float) -> float:
+    """Regularized lower incomplete gamma P(a, x) by series."""
+    if x <= 0:
+        return 0.0
+    term = 1.0 / a
+    total = term
+    n = a
+    for _ in range(500):
+        n += 1.0
+        term *= x / n
+        total += term
+        if abs(term) < abs(total) * 1e-14:
+            break
+    import math
+
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _gammainc_upper(a: float, x: float) -> float:
+    """Regularized upper incomplete gamma Q(a, x) by continued fraction."""
+    import math
+
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def jarque_bera(x) -> tuple:
+    """Jarque-Bera statistic and p-value (chi-square with 2 dof)."""
+    arr = np.asarray(x, dtype=float).reshape(-1)
+    n = arr.shape[0]
+    if n < 8:
+        raise ValueError("need at least 8 samples for a meaningful JB test")
+    s = skewness(arr)
+    k = excess_kurtosis(arr)
+    jb = n / 6.0 * (s * s + k * k / 4.0)
+    return float(jb), float(_chi2_sf(jb, 2))
+
+
+def fit_normal(x) -> NormalFit:
+    """Fit a normal and run the Jarque-Bera normality test."""
+    arr = np.asarray(x, dtype=float).reshape(-1)
+    jb, p = jarque_bera(arr)
+    return NormalFit(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)),
+        skewness=skewness(arr),
+        excess_kurtosis=excess_kurtosis(arr),
+        jarque_bera=jb,
+        jb_pvalue=p,
+    )
+
+
+def chi_square_normality(x, n_bins: int = 8) -> tuple:
+    """Chi-square goodness-of-fit of samples against a fitted normal.
+
+    Bins are equal-probability under the fitted normal, so expected
+    counts are uniform.  Returns ``(statistic, p_value)``; dof is
+    ``n_bins - 3`` (bins minus one, minus two fitted parameters).
+    """
+    arr = np.asarray(x, dtype=float).reshape(-1)
+    if n_bins < 4:
+        raise ValueError("need at least 4 bins")
+    n = arr.shape[0]
+    if n < 5 * n_bins:
+        raise ValueError("need at least 5 samples per bin on average")
+    mu = arr.mean()
+    sigma = arr.std(ddof=1)
+    if sigma == 0:
+        raise ValueError("degenerate (constant) sample")
+    # equal-probability bin edges from the normal quantile function
+    probs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    edges = mu + sigma * np.sqrt(2.0) * _erfinv_vec(2.0 * probs - 1.0)
+    counts, _ = np.histogram(arr, bins=np.concatenate([[-np.inf], edges, [np.inf]]))
+    expected = n / n_bins
+    stat = float(np.sum((counts - expected) ** 2 / expected))
+    dof = n_bins - 3
+    return stat, float(_chi2_sf(stat, dof))
+
+
+def _erfinv_vec(y: np.ndarray) -> np.ndarray:
+    """Inverse error function via Newton refinement of a rational seed."""
+    y = np.asarray(y, dtype=float)
+    # Winitzki's approximation as the seed
+    a = 0.147
+    ln_term = np.log(1.0 - y * y)
+    first = 2.0 / (np.pi * a) + ln_term / 2.0
+    x = np.sign(y) * np.sqrt(np.sqrt(first * first - ln_term / a) - first)
+    # two Newton steps: f(x) = erf(x) - y
+    for _ in range(2):
+        err = _erf_vec(x) - y
+        deriv = 2.0 / np.sqrt(np.pi) * np.exp(-x * x)
+        x = x - err / deriv
+    return x
+
+
+def _erf_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized error function (Abramowitz-Stegun 7.1.26)."""
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))

@@ -1,0 +1,200 @@
+"""CART decision trees (regression and classification).
+
+Axis-aligned binary splits chosen greedily.  Regression splits minimize
+within-node variance; classification splits minimize Gini impurity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry ``value`` and internal nodes a split."""
+
+    value: float = 0.0
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    class_counts: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _as_2d(X) -> np.ndarray:
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    return arr
+
+
+class _BaseTree:
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self.n_features_: int = 0
+
+    # Subclasses define: _leaf_value, _impurity
+    def fit(self, X, y):
+        X = _as_2d(X)
+        y = self._prepare_y(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different numbers of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self._rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = self._make_leaf(y)
+        n = X.shape[0]
+        if depth >= self.max_depth or n < self.min_samples_split:
+            return node
+        if self._impurity(y) <= 1e-12:
+            return node
+        best = self._best_split(X, y)
+        if best is None:
+            return node
+        feature, threshold, mask = best
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n = X.shape[0]
+        best_gain = 1e-12
+        best = None
+        parent_imp = self._impurity(y)
+        for feature in self._candidate_features(X.shape[1]):
+            col = X[:, feature]
+            order = np.argsort(col, kind="stable")
+            sorted_col = col[order]
+            sorted_y = y[order]
+            # candidate thresholds: midpoints between distinct consecutive values
+            distinct = np.nonzero(np.diff(sorted_col) > 0)[0]
+            for idx in distinct:
+                n_left = idx + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                imp_l = self._impurity(sorted_y[:n_left])
+                imp_r = self._impurity(sorted_y[n_left:])
+                gain = parent_imp - (n_left * imp_l + n_right * imp_r) / n
+                if gain > best_gain:
+                    threshold = 0.5 * (sorted_col[idx] + sorted_col[idx + 1])
+                    best_gain = gain
+                    best = (int(feature), float(threshold), col <= threshold)
+        return best
+
+    def _apply(self, X: np.ndarray) -> list:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"feature-count mismatch: fitted with {self.n_features_}, got {X.shape[1]}"
+            )
+        leaves = []
+        for row in X:
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            leaves.append(node)
+        return leaves
+
+    @property
+    def depth_(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+
+        def rec(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(rec(node.left), rec(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return rec(self._root)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regression tree minimizing within-leaf variance."""
+
+    def _prepare_y(self, y) -> np.ndarray:
+        return np.asarray(y, dtype=float).reshape(-1)
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y)) if y.shape[0] else 0.0
+
+    def _make_leaf(self, y: np.ndarray) -> _Node:
+        return _Node(value=float(np.mean(y)))
+
+    def predict(self, X) -> np.ndarray:
+        X = _as_2d(X)
+        return np.array([leaf.value for leaf in self._apply(X)])
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classification tree minimizing Gini impurity."""
+
+    def _prepare_y(self, y) -> np.ndarray:
+        y = np.asarray(y).reshape(-1)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded.astype(int)
+
+    def _impurity(self, y: np.ndarray) -> float:
+        if y.shape[0] == 0:
+            return 0.0
+        counts = np.bincount(y, minlength=len(self.classes_))
+        p = counts / y.shape[0]
+        return float(1.0 - np.sum(p * p))
+
+    def _make_leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(float)
+        return _Node(value=float(np.argmax(counts)), class_counts=counts)
+
+    def predict(self, X) -> np.ndarray:
+        X = _as_2d(X)
+        idx = [int(leaf.value) for leaf in self._apply(X)]
+        return self.classes_[idx]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-class probabilities from leaf class frequencies."""
+        X = _as_2d(X)
+        rows = []
+        for leaf in self._apply(X):
+            counts = leaf.class_counts
+            total = counts.sum()
+            rows.append(counts / total if total > 0 else counts)
+        return np.stack(rows)

@@ -1,0 +1,168 @@
+"""Workload generators: profiles, corpora, eyecharts."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (
+    DRIVER_CLASSES,
+    RouterLogCorpus,
+    artificial_profile,
+    design_profile,
+    embedded_cpu_profile,
+    make_eyechart,
+    pulpino_profile,
+)
+from repro.eda.library import make_default_library
+from repro.eda.synthesis import synthesize
+
+
+# ---------------------------------------------------------------- profiles
+def test_driver_classes_cover_paper_list():
+    assert {"CPU", "GPU", "DSP", "NOC", "PHY"} <= set(DRIVER_CLASSES)
+
+
+def test_profiles_synthesize(library):
+    for name, spec in DRIVER_CLASSES.items():
+        nl = synthesize(spec, library, effort=0.3, seed=1)
+        nl.validate()
+        assert nl.n_instances > spec.n_gates * 0.8
+
+
+def test_design_profile_lookup():
+    assert design_profile("CPU").name == "embedded_cpu"
+    assert design_profile("pulpino").name == "pulpino"
+    with pytest.raises(KeyError):
+        design_profile("quantum")
+
+
+def test_pulpino_scaling():
+    small = pulpino_profile(scale=0.5)
+    big = pulpino_profile(scale=2.0)
+    assert big.n_gates == 4 * small.n_gates
+    with pytest.raises(ValueError):
+        pulpino_profile(scale=0.0)
+
+
+def test_artificial_profiles_vary():
+    specs = [artificial_profile(i) for i in range(6)]
+    assert len({(s.n_gates, s.n_flops, s.depth) for s in specs}) > 1
+    assert all(s.name.startswith("artificial") for s in specs)
+    with pytest.raises(ValueError):
+        artificial_profile(-1)
+
+
+def test_cpu_profile_bigger_than_pulpino():
+    assert embedded_cpu_profile().n_gates > pulpino_profile().n_gates
+
+
+# ------------------------------------------------------------------ corpus
+@pytest.fixture(scope="module")
+def small_corpora():
+    return (
+        RouterLogCorpus.artificial(n=80, seed=1),
+        RouterLogCorpus.cpu_floorplans(n=60, seed=2, n_base_maps=2),
+    )
+
+
+def test_corpus_sizes(small_corpora):
+    train, test = small_corpora
+    assert len(train) == 80
+    assert len(test) == 60
+
+
+def test_corpus_has_both_outcomes(small_corpora):
+    for corpus in small_corpora:
+        assert 0.1 < corpus.success_rate < 0.95
+
+
+def test_corpus_logs_well_formed(small_corpora):
+    for corpus in small_corpora:
+        for log in corpus:
+            assert log.n_iterations >= 1
+            assert all(v >= 0 for v in log.drvs)
+            assert log.final_drvs == log.drvs[-1]
+            # ground truth consistent with the 200-DRV success rule
+            assert log.success == (log.final_drvs < 200)
+
+
+def test_corpus_difficulty_drives_outcome(small_corpora):
+    """Harder (more congested) runs fail more often."""
+    train, _ = small_corpora
+    failed = [log.difficulty for log in train if not log.success]
+    passed = [log.difficulty for log in train if log.success]
+    assert np.mean(failed) > np.mean(passed)
+
+
+def test_corpus_domains_differ(small_corpora):
+    train, test = small_corpora
+    assert train.domain == "artificial"
+    assert test.domain == "cpu"
+
+
+def test_corpus_reproducible():
+    a = RouterLogCorpus.artificial(n=20, seed=9)
+    b = RouterLogCorpus.artificial(n=20, seed=9)
+    assert [log.drvs for log in a] == [log.drvs for log in b]
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(ValueError):
+        RouterLogCorpus([], "x")
+
+
+# --------------------------------------------------------------- eyecharts
+def test_eyechart_dp_matches_brute_force(library):
+    chart = make_eyechart(n_stages=4, seed=5, library=library)
+    drives = [d for d in itertools.product([1, 2, 4, 8], repeat=4) if d[0] == 1]
+    best = min(drives, key=lambda d: chart.delay_of(d, library))
+    assert chart.optimal_drives == best
+    assert chart.optimal_delay == pytest.approx(chart.delay_of(best, library))
+
+
+def test_eyechart_optimum_beats_naive(library):
+    chart = make_eyechart(n_stages=8, seed=6, library=library)
+    naive = tuple([1] * 8)
+    assert chart.quality_of(naive, library) > 1.0
+    assert chart.quality_of(chart.optimal_drives, library) == pytest.approx(1.0)
+
+
+def test_eyechart_netlist_valid(library):
+    chart = make_eyechart(n_stages=6, seed=7, library=library)
+    chart.netlist.validate()
+    assert chart.netlist.n_instances == 6
+    # the netlist instantiates the optimal sizing
+    for i, drive in enumerate(chart.optimal_drives):
+        assert chart.netlist.instances[f"s{i}"].cell.drive == drive
+
+
+def test_eyechart_first_stage_pinned(library):
+    chart = make_eyechart(n_stages=5, seed=8, library=library)
+    assert chart.optimal_drives[0] == 1
+
+
+def test_eyechart_validation():
+    with pytest.raises(ValueError):
+        make_eyechart(n_stages=1)
+    with pytest.raises(ValueError):
+        make_eyechart(output_load=0.0)
+    chart = make_eyechart(n_stages=3, seed=0)
+    with pytest.raises(ValueError):
+        chart.delay_of((1, 2), chart.netlist.library)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_eyechart_optimum_is_minimal(seed):
+    """No single-stage resize improves on the DP optimum."""
+    library = make_default_library()
+    chart = make_eyechart(n_stages=5, seed=seed, library=library)
+    base = chart.optimal_delay
+    for i in range(1, 5):  # stage 0 is pinned
+        for drive in (1, 2, 4, 8):
+            trial = list(chart.optimal_drives)
+            trial[i] = drive
+            assert chart.delay_of(tuple(trial), library) >= base - 1e-9

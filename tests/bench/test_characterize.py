@@ -1,0 +1,63 @@
+"""Eyechart-based sizer characterization."""
+
+import pytest
+
+from repro.bench.characterize import (
+    BUILTIN_SIZERS,
+    CharacterizationReport,
+    characterize,
+    greedy_sizer,
+    naive_sizer,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {r.sizer: r for r in characterize(n_charts=12, seed=5)}
+
+
+def test_all_builtin_sizers_graded(reports):
+    assert set(reports) == set(BUILTIN_SIZERS)
+    for report in reports.values():
+        assert len(report.qualities) == 12
+        assert all(q >= 1.0 - 1e-9 for q in report.qualities)  # never beat the optimum
+
+
+def test_optimal_reference_is_exact(reports):
+    assert reports["optimal"].mean_quality == pytest.approx(1.0)
+    assert reports["optimal"].optimal_rate == 1.0
+
+
+def test_quality_ordering(reports):
+    """Greedy < random-20 < naive-X1: the benchmark discriminates."""
+    assert reports["greedy"].mean_quality < reports["random20"].mean_quality
+    assert reports["random20"].mean_quality < reports["naive_x1"].mean_quality
+
+
+def test_greedy_is_near_optimal_but_not_exact(reports):
+    greedy = reports["greedy"]
+    assert greedy.mean_quality < 1.05  # close to optimal on chains
+    # ... but eyecharts exist because heuristics are not optimal
+    assert greedy.optimal_rate < 1.0 or greedy.worst_quality > 1.0
+
+
+def test_greedy_sizer_keeps_first_stage_pinned(library):
+    from repro.bench.eyecharts import make_eyechart
+    import numpy as np
+
+    chart = make_eyechart(n_stages=6, seed=1, library=library)
+    drives = greedy_sizer(chart, library, np.random.default_rng(0))
+    assert drives[0] == 1
+    assert len(drives) == 6
+
+
+def test_characterize_validation():
+    with pytest.raises(ValueError):
+        characterize(n_charts=0)
+
+
+def test_report_statistics():
+    report = CharacterizationReport("x", [1.0, 1.5, 2.0])
+    assert report.mean_quality == pytest.approx(1.5)
+    assert report.worst_quality == 2.0
+    assert report.optimal_rate == pytest.approx(1 / 3)

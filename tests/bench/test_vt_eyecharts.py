@@ -1,0 +1,71 @@
+"""VT-assignment eyecharts with known optimal leakage."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import greedy_vt_assignment, make_vt_eyechart
+
+
+@pytest.fixture(scope="module")
+def chart():
+    return make_vt_eyechart(n_stages=8, seed=1)
+
+
+def test_optimum_is_feasible(chart):
+    assert chart.is_feasible(chart.optimal_vts)
+    assert chart.leakage_of(chart.optimal_vts) == pytest.approx(chart.optimal_leakage)
+
+
+def test_optimum_matches_exhaustive_small():
+    chart = make_vt_eyechart(n_stages=5, seed=2)
+    best = min(
+        (c for c in itertools.product(("LVT", "SVT", "HVT"), repeat=5)
+         if chart.is_feasible(c)),
+        key=chart.leakage_of,
+    )
+    assert chart.leakage_of(best) == pytest.approx(chart.optimal_leakage)
+
+
+def test_all_lvt_feasible_but_leaky(chart):
+    all_lvt = tuple(["LVT"] * chart.n_stages)
+    assert chart.is_feasible(all_lvt)
+    assert chart.quality_of(all_lvt) > 1.5
+
+
+def test_all_hvt_infeasible(chart):
+    """The budget is tight enough that full relaxation breaks timing."""
+    all_hvt = tuple(["HVT"] * chart.n_stages)
+    assert not chart.is_feasible(all_hvt)
+    assert chart.quality_of(all_hvt) == float("inf")
+
+
+def test_greedy_assignment_feasible_and_good(chart):
+    greedy = greedy_vt_assignment(chart)
+    assert chart.is_feasible(greedy)
+    quality = chart.quality_of(greedy)
+    assert 1.0 <= quality < 1.3  # near-optimal but characterizably imperfect
+
+
+def test_validation(chart):
+    with pytest.raises(ValueError):
+        make_vt_eyechart(n_stages=1)
+    with pytest.raises(ValueError):
+        make_vt_eyechart(n_stages=20)
+    with pytest.raises(ValueError):
+        make_vt_eyechart(slack_fraction=0.0)
+    with pytest.raises(ValueError):
+        chart.delay_of(("LVT",))
+    with pytest.raises(ValueError):
+        chart.delay_of(tuple(["XVT"] * chart.n_stages))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_greedy_never_beats_optimum(seed):
+    chart = make_vt_eyechart(n_stages=6, seed=seed)
+    greedy = greedy_vt_assignment(chart)
+    assert chart.leakage_of(greedy) >= chart.optimal_leakage - 1e-12
+    assert chart.is_feasible(greedy)

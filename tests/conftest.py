@@ -1,0 +1,59 @@
+"""Shared fixtures: a library, a small design, and its placed/routed views.
+
+Session-scoped where construction is expensive; tests must not mutate
+shared fixtures (mutating tests build their own objects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eda.floorplan import make_floorplan
+from repro.eda.library import make_default_library
+from repro.eda.placement import QuadraticPlacer
+from repro.eda.routing import GlobalRouter
+from repro.eda.synthesis import DesignSpec, synthesize
+
+
+@pytest.fixture(scope="session")
+def library():
+    return make_default_library()
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    return DesignSpec(
+        name="tiny",
+        n_gates=120,
+        n_flops=16,
+        n_inputs=8,
+        n_outputs=8,
+        depth=10,
+        locality=0.8,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_netlist(library, small_spec):
+    return synthesize(small_spec, library, effort=0.5, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_floorplan(small_netlist):
+    return make_floorplan(small_netlist, utilization=0.7)
+
+
+@pytest.fixture(scope="session")
+def small_placement(small_netlist, small_floorplan):
+    return QuadraticPlacer().place(small_netlist, small_floorplan, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_congestion(small_placement):
+    return GlobalRouter().route(small_placement, seed=4).congestion_map()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,125 @@
+"""Analysis miscorrelation: datasets, correction models, guardbands."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    MiscorrelationModel,
+    accuracy_cost_curve,
+    build_corner_dataset,
+    build_correlation_dataset,
+    build_gba_pba_dataset,
+    guardband_for,
+    guardband_optimization_cost,
+    miscorrelation_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_correlation_dataset(n_designs=4, seed=2)
+
+
+def test_dataset_shape(dataset):
+    assert dataset.n_samples > 100
+    assert dataset.X.shape == (dataset.n_samples, len(dataset.feature_names))
+    assert len(dataset.endpoint_names) == dataset.n_samples
+    assert np.isfinite(dataset.X).all()
+
+
+def test_engines_genuinely_disagree(dataset):
+    """Miscorrelation exists: the engines differ on most endpoints."""
+    stats = miscorrelation_stats(dataset)
+    assert stats["mae"] > 1.0
+    # the cheap engine is systematically optimistic vs signoff here
+    assert stats["mean"] < 0.0
+
+
+def test_split_partitions_dataset(dataset):
+    train, test = dataset.split(0.7, seed=0)
+    assert train.n_samples + test.n_samples == dataset.n_samples
+    assert set(train.endpoint_names).isdisjoint(test.endpoint_names)
+    with pytest.raises(ValueError):
+        dataset.split(1.5)
+
+
+@pytest.mark.parametrize("kind", ["ridge", "gbm"])
+def test_correction_model_shrinks_error(dataset, kind):
+    train, test = dataset.split(0.7, seed=1)
+    model = MiscorrelationModel(kind=kind, seed=0).fit(train)
+    report = model.report(test)
+    assert report["ml_mae"] < report["raw_mae"] * 0.5
+
+
+def test_model_validation(dataset):
+    with pytest.raises(ValueError):
+        MiscorrelationModel(kind="svm")
+    with pytest.raises(RuntimeError):
+        MiscorrelationModel().predict_golden(dataset)
+
+
+def test_guardband_covers_optimism():
+    cheap = np.array([10.0, 5.0, 0.0, -5.0])
+    golden = np.array([0.0, 4.0, 1.0, -5.0])  # first endpoint: 10ps optimistic
+    g = guardband_for(cheap, golden, coverage=1.0)
+    assert g == pytest.approx(10.0)
+    # with the guardband applied, no endpoint is over-promised
+    assert ((cheap - g) <= golden).all()
+
+
+def test_guardband_validation():
+    with pytest.raises(ValueError):
+        guardband_for(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        guardband_for(np.ones(3), np.ones(3), coverage=0.3)
+
+
+def test_ml_shrinks_guardband(dataset):
+    train, test = dataset.split(0.7, seed=3)
+    raw_gb = guardband_for(test.cheap_slack, test.golden_slack)
+    model = MiscorrelationModel(kind="gbm", seed=0).fit(train)
+    corrected = model.predict_golden(test)
+    ml_gb = guardband_for(corrected, test.golden_slack)
+    assert ml_gb < raw_gb
+
+
+def test_accuracy_cost_curve_shape(dataset):
+    """Fig 8: ML point sits near golden accuracy at near cheap cost."""
+    train, test = dataset.split(0.7, seed=4)
+    points = {p.name: p for p in accuracy_cost_curve(train, test, seed=0)}
+    cheap, golden = points["cheap"], points["golden"]
+    ml = points["cheap+ML(gbm)"]
+    assert golden.cost > cheap.cost * 3
+    assert ml.error < cheap.error * 0.5
+    assert ml.cost < golden.cost * 0.5
+    assert golden.error == 0.0
+
+
+def test_gba_pba_dataset():
+    ds = build_gba_pba_dataset(n_designs=2, seed=5)
+    # PBA recovers pessimism: golden (PBA) slack >= cheap (GBA) slack
+    assert (ds.divergence >= -1e-9).all()
+    assert ds.golden_runtime > ds.cheap_runtime
+    train, test = ds.split(0.7, seed=0)
+    model = MiscorrelationModel(kind="ridge").fit(train)
+    report = model.report(test)
+    assert report["ml_mae"] <= report["raw_mae"]
+
+
+def test_corner_dataset_prediction():
+    ds = build_corner_dataset(n_designs=3, seed=6)
+    assert any(name.startswith("slack_") for name in ds.feature_names)
+    train, test = ds.split(0.7, seed=0)
+    model = MiscorrelationModel(kind="ridge").fit(train)
+    report = model.report(test)
+    # predicting the missing (fast) corner from analyzed corners beats
+    # reusing the typical-corner slack
+    assert report["ml_mae"] < report["raw_mae"]
+
+
+def test_guardband_optimization_cost_monotone():
+    rows = guardband_optimization_cost([0.0, 120.0], seed=3)
+    assert rows[1]["sizing_ops"] >= rows[0]["sizing_ops"]
+    assert rows[1]["area_delta"] >= rows[0]["area_delta"]
+    with pytest.raises(ValueError):
+        guardband_optimization_cost([-5.0])

@@ -1,0 +1,168 @@
+"""Cost models (Figs 1-2, 4) and noise characterization (Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import (
+    CapabilityGapModel,
+    CoevolutionModel,
+    DesignCostModel,
+    DTInnovation,
+    RegimeState,
+)
+from repro.core.noise import NoiseCharacterization, noise_sweep
+from repro.eda.flow import FlowOptions
+
+
+# --------------------------------------------------------------- cost model
+def test_footnote1_anchors_within_factor():
+    """The paper's footnote 1 numbers, within 25%."""
+    anchors = DesignCostModel().footnote1_anchors()
+    assert anchors["cost_2013_with_dt"] == pytest.approx(45.4e6, rel=0.25)
+    assert anchors["cost_2013_frozen_2000"] == pytest.approx(1.0e9, rel=0.25)
+    assert anchors["cost_2028_frozen_2013"] == pytest.approx(3.4e9, rel=0.25)
+    assert anchors["cost_2028_frozen_2000"] == pytest.approx(70e9, rel=0.25)
+
+
+def test_transistor_count_doubles_every_two_years():
+    m = DesignCostModel()
+    assert m.transistors(2001) / m.transistors(1999) == pytest.approx(2.0)
+
+
+def test_dt_innovations_reduce_cost():
+    m = DesignCostModel()
+    assert m.design_cost(2015) < m.design_cost(2015, dt_freeze_year=1990)
+
+
+def test_cost_explodes_without_dt():
+    """Fig 2's divergence: frozen-DT cost grows by orders of magnitude."""
+    m = DesignCostModel()
+    series = m.figure2_series(range(2000, 2029))
+    ratio = series["cost_frozen_2000"][-1] / series["design_cost"][-1]
+    assert ratio > 100.0
+
+
+def test_verification_share(library=None):
+    m = DesignCostModel()
+    assert m.verification_cost(2015) == pytest.approx(m.design_cost(2015) * 0.45)
+
+
+def test_cost_model_validation():
+    m = DesignCostModel()
+    with pytest.raises(ValueError):
+        m.design_cost(1900)
+    with pytest.raises(ValueError):
+        DTInnovation(2000, "nop", 1.0)
+
+
+# ----------------------------------------------------------- capability gap
+def test_gap_grows_over_time():
+    g = CapabilityGapModel()
+    assert g.gap(2015) > g.gap(2005) >= g.gap(1995)
+
+
+def test_realized_density_below_available():
+    g = CapabilityGapModel()
+    for year in (2000, 2010, 2015):
+        assert g.realized_density(year) <= g.available_density(year)
+
+
+def test_figure1_series_keys():
+    series = CapabilityGapModel().figure1_series(range(1995, 2016))
+    assert set(series) == {"year", "available", "realized", "gap"}
+    assert (series["available"] >= series["realized"]).all()
+    # both still scale up over 20 years (the gap is relative, not absolute)
+    assert series["realized"][-1] > series["realized"][0]
+
+
+def test_uncore_fraction_bounded():
+    g = CapabilityGapModel()
+    for year in range(1995, 2030):
+        assert 0.0 <= g.uncore_fraction(year) <= g.uncore_ceiling + 1e-9
+
+
+# -------------------------------------------------------------- coevolution
+def test_future_regime_dominates_today():
+    today = CoevolutionModel("today").fixed_point()
+    future = CoevolutionModel("future", partitions=16).fixed_point()
+    assert future.quality > today.quality
+    assert future.predictability > today.predictability
+    assert future.margin < today.margin
+
+
+def test_more_partitions_help():
+    few = CoevolutionModel("future", partitions=2).fixed_point()
+    many = CoevolutionModel("future", partitions=32).fixed_point()
+    assert many.quality >= few.quality
+
+
+def test_fixed_point_is_stable():
+    model = CoevolutionModel("today")
+    fp = model.fixed_point()
+    stepped = model.step(fp)
+    assert abs(stepped.quality - fp.quality) < 1e-3
+
+
+def test_states_stay_in_unit_box():
+    model = CoevolutionModel("today")
+    for state in model.run(40, RegimeState(1.0, 0.0, 1.0, 0.0)):
+        for v in (state.flexibility, state.predictability, state.margin, state.quality):
+            assert 0.0 <= v <= 1.0
+
+
+def test_coevolution_validation():
+    with pytest.raises(ValueError):
+        CoevolutionModel("past")
+    with pytest.raises(ValueError):
+        CoevolutionModel("today", partitions=0.5)
+
+
+# -------------------------------------------------------------------- noise
+@pytest.fixture(scope="module")
+def sweep(small_spec):
+    # bracket the tiny design's wall coarsely; tests only need relative
+    # behaviour so a small sweep keeps runtime low
+    return noise_sweep(
+        small_spec, targets=[0.8, 1.4, 1.9], n_seeds=8,
+        base_options=FlowOptions(opt_passes=4),
+    )
+
+
+def test_sweep_structure(sweep):
+    assert sweep.n_seeds == 8
+    for t in sweep.targets:
+        assert len(sweep.runs[t]) == 8
+        assert sweep.areas(t).shape == (8,)
+
+
+def test_noise_grows_toward_wall(sweep):
+    noise = NoiseCharacterization(sweep)
+    stds = noise.area_std()
+    assert stds[-1] >= stds[0]
+
+
+def test_success_rate_falls_with_target(sweep):
+    rates = [sweep.success_rate(t) for t in sweep.targets]
+    assert rates[0] >= rates[-1]
+
+
+def test_aim_low_semantics(sweep):
+    noise = NoiseCharacterization(sweep)
+    safe = noise.aim_low_target(confidence=0.9)
+    assert safe in sweep.targets
+    assert sweep.success_rate(safe) >= 0.9
+    assert noise.frequency_guardband(0.9) >= 0.0
+
+
+def test_noise_summary_keys(sweep):
+    summary = NoiseCharacterization(sweep).summary()
+    assert set(summary) == {
+        "n_targets", "n_seeds", "noise_growth_ratio", "gaussian_fraction",
+    }
+
+
+def test_sweep_validation(small_spec):
+    with pytest.raises(ValueError):
+        noise_sweep(small_spec, targets=[], n_seeds=5)
+    with pytest.raises(ValueError):
+        noise_sweep(small_spec, targets=[0.5], n_seeds=1)

@@ -1,0 +1,142 @@
+"""Resource scheduling (paper ref [1])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orchestration.resources import (
+    Job,
+    ResourcePool,
+    compare_policies,
+    jobs_from_flow_estimates,
+    schedule_jobs,
+)
+
+
+def _jobs():
+    return [
+        Job("syn_a", 5.0, {"syn": 1}),
+        Job("syn_b", 3.0, {"syn": 1}),
+        Job("pnr_a", 12.0, {"pnr": 1}),
+        Job("pnr_b", 9.0, {"pnr": 1}),
+        Job("pnr_c", 7.0, {"pnr": 1}),
+        Job("sta_a", 2.0, {"sta": 1}),
+    ]
+
+
+def _pool():
+    return ResourcePool(machines=3, licenses={"syn": 1, "pnr": 2, "sta": 1})
+
+
+def test_schedule_completes_all_jobs():
+    schedule = schedule_jobs(_jobs(), _pool(), "fifo")
+    assert len(schedule.entries) == len(_jobs())
+    assert schedule.makespan > 0
+
+
+def test_serial_on_single_machine():
+    pool = ResourcePool(machines=1)
+    jobs = [Job(f"j{i}", 2.0) for i in range(4)]
+    schedule = schedule_jobs(jobs, pool, "fifo")
+    assert schedule.makespan == pytest.approx(8.0)
+    # no overlap
+    spans = sorted((e.start, e.end) for e in schedule.entries)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert s2 >= e1 - 1e-9
+
+
+def test_parallel_machines_shorten_makespan():
+    jobs = [Job(f"j{i}", 4.0) for i in range(4)]
+    serial = schedule_jobs(jobs, ResourcePool(machines=1), "fifo").makespan
+    parallel = schedule_jobs(jobs, ResourcePool(machines=4), "fifo").makespan
+    assert parallel == pytest.approx(4.0)
+    assert serial == pytest.approx(16.0)
+
+
+def test_license_limits_respected():
+    pool = ResourcePool(machines=10, licenses={"pnr": 1})
+    jobs = [Job(f"p{i}", 5.0, {"pnr": 1}) for i in range(3)]
+    schedule = schedule_jobs(jobs, pool, "fifo")
+    # one license: strictly serial despite 10 machines
+    assert schedule.makespan == pytest.approx(15.0)
+
+
+def test_lpt_beats_or_matches_fifo_makespan():
+    # adversarial FIFO order: long job last straggles
+    jobs = [Job("s1", 1.0), Job("s2", 1.0), Job("s3", 1.0), Job("long", 9.0)]
+    pool = ResourcePool(machines=2)
+    fifo = schedule_jobs(jobs, pool, "fifo").makespan
+    lpt = schedule_jobs(jobs, pool, "lpt").makespan
+    # LPT: long job on one machine, the three shorts share the other -> 9
+    # FIFO: the long job starts only at t=1 -> 10
+    assert lpt == pytest.approx(9.0)
+    assert fifo == pytest.approx(10.0)
+    assert lpt <= fifo
+
+
+def test_spt_minimizes_waiting():
+    jobs = [Job("long", 10.0), Job("short", 1.0)]
+    pool = ResourcePool(machines=1)
+    spt = schedule_jobs(jobs, pool, "spt")
+    fifo = schedule_jobs(jobs, pool, "fifo")
+    assert spt.mean_waiting_time < fifo.mean_waiting_time
+
+
+def test_utilization_bounded():
+    schedule = schedule_jobs(_jobs(), _pool(), "lpt")
+    u = schedule.utilization(_pool())
+    assert 0.0 < u <= 1.0
+
+
+def test_compare_policies_keys():
+    results = compare_policies(_jobs(), _pool(), seed=1)
+    assert set(results) == {"lpt", "spt", "fifo", "random"}
+    assert all(v > 0 for v in results.values())
+
+
+def test_impossible_job_rejected():
+    pool = ResourcePool(machines=1, licenses={})
+    with pytest.raises(ValueError):
+        schedule_jobs([Job("big", 1.0, machines=2)], pool)
+    with pytest.raises(ValueError):
+        schedule_jobs([Job("lic", 1.0, {"pnr": 1})], pool)
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        Job("bad", 0.0)
+    with pytest.raises(ValueError):
+        Job("bad", 1.0, machines=0)
+    with pytest.raises(ValueError):
+        Job("bad", 1.0, {"pnr": 0})
+    with pytest.raises(ValueError):
+        ResourcePool(machines=0)
+    with pytest.raises(ValueError):
+        schedule_jobs([Job("j", 1.0)], ResourcePool(machines=1), "mystery")
+
+
+def test_jobs_from_flow_estimates():
+    jobs = jobs_from_flow_estimates({"run_a": 100.0, "run_b": 50.0})
+    assert len(jobs) == 2
+    assert all(j.licenses == {"pnr": 1} for j in jobs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    runtimes=st.lists(st.floats(min_value=0.1, max_value=20), min_size=1, max_size=12),
+    machines=st.integers(min_value=1, max_value=4),
+)
+def test_property_no_machine_oversubscription(runtimes, machines):
+    """At any instant, concurrently-running jobs never exceed machines."""
+    jobs = [Job(f"j{i}", r) for i, r in enumerate(runtimes)]
+    pool = ResourcePool(machines=machines)
+    schedule = schedule_jobs(jobs, pool, "lpt")
+    events = sorted(
+        {e.start for e in schedule.entries} | {e.end for e in schedule.entries}
+    )
+    for t in events:
+        active = sum(1 for e in schedule.entries if e.start <= t < e.end)
+        assert active <= machines
+    # makespan lower bounds: max runtime and total work / machines
+    assert schedule.makespan >= max(runtimes) - 1e-9
+    assert schedule.makespan >= sum(runtimes) / machines - 1e-9

@@ -1,0 +1,131 @@
+"""Congestion-driven re-placement and GWTW parallel placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.search.parallel_place import gwtw_place
+from repro.eda.congestion import congestion_driven_replace, congestion_net_weights
+from repro.eda.floorplan import make_floorplan
+from repro.eda.library import make_default_library
+from repro.eda.placement import AnnealingRefiner, QuadraticPlacer
+from repro.eda.routing import GlobalRouter
+from repro.eda.synthesis import DesignSpec, synthesize
+
+
+@pytest.fixture(scope="module")
+def congested_case():
+    lib = make_default_library()
+    nl = synthesize(
+        DesignSpec("cg", n_gates=250, n_flops=24, n_inputs=12, n_outputs=12, depth=12),
+        lib, effort=0.5, seed=1,
+    )
+    fp = make_floorplan(nl, utilization=0.85)
+    return nl, fp
+
+
+def _fresh_placement(case, seed=2):
+    nl, fp = case
+    pl = QuadraticPlacer().place(nl, fp, seed=seed)
+    AnnealingRefiner(moves_per_cell=6).refine(pl, seed=seed + 1)
+    return pl
+
+
+def test_weights_flag_congested_nets(congested_case):
+    pl = _fresh_placement(congested_case)
+    route = GlobalRouter(tracks_per_um=10.0).route(pl, seed=3)
+    weights = congestion_net_weights(pl, route.congestion_map(), alpha=2.0)
+    assert weights
+    assert all(w >= 1.0 for w in weights.values())
+    assert max(weights.values()) > 1.0  # something is congested at util 0.85
+
+
+def test_weights_zero_map_all_ones(congested_case):
+    pl = _fresh_placement(congested_case)
+    weights = congestion_net_weights(pl, np.zeros((16, 16)))
+    assert all(w == 1.0 for w in weights.values())
+    with pytest.raises(ValueError):
+        congestion_net_weights(pl, np.zeros((16, 16)), alpha=-1.0)
+
+
+def test_congestion_driven_reduces_overflow():
+    """Equal-budget comparison on a congested 300-gate instance."""
+    lib = make_default_library()
+    nl = synthesize(
+        DesignSpec("cg2", n_gates=300, n_flops=32, n_inputs=16, n_outputs=16, depth=14),
+        lib, effort=0.5, seed=1,
+    )
+    fp = make_floorplan(nl, utilization=0.85)
+    router = GlobalRouter(tracks_per_um=11.0)
+
+    # baseline: same total annealing budget, no congestion weights
+    baseline = QuadraticPlacer().place(nl, fp, seed=2)
+    AnnealingRefiner(moves_per_cell=6).refine(baseline, seed=3)
+    for extra_seed in (10, 11):
+        AnnealingRefiner(moves_per_cell=6).refine(baseline, seed=extra_seed)
+    base_overflow = router.route(baseline, seed=4).overflow
+
+    driven = QuadraticPlacer().place(nl, fp, seed=2)
+    AnnealingRefiner(moves_per_cell=6).refine(driven, seed=3)
+    final_route = congestion_driven_replace(driven, router, n_iterations=2, seed=5)
+    assert final_route.overflow < base_overflow * 1.02
+    driven.validate()
+
+
+def test_congestion_driven_validation(congested_case):
+    pl = _fresh_placement(congested_case)
+    with pytest.raises(ValueError):
+        congestion_driven_replace(pl, n_iterations=0)
+
+
+def test_weighted_refine_changes_solution(congested_case):
+    a = _fresh_placement(congested_case, seed=9)
+    b = _fresh_placement(congested_case, seed=9)
+    heavy_net = next(
+        n for n, net in a.netlist.nets.items()
+        if n != a.netlist.clock_net and len(net.sinks) >= 2
+    )
+    AnnealingRefiner(moves_per_cell=6).refine(a, seed=10)
+    AnnealingRefiner(moves_per_cell=6).refine(b, seed=10, net_weights={heavy_net: 50.0})
+    # the emphasized net should end up shorter under weighting
+    assert b.net_length(heavy_net) <= a.net_length(heavy_net)
+
+
+def test_negative_weight_rejected(congested_case):
+    pl = _fresh_placement(congested_case)
+    some_net = next(iter(w for w in pl.netlist.nets if w != pl.netlist.clock_net))
+    with pytest.raises(ValueError):
+        AnnealingRefiner(moves_per_cell=1).refine(pl, seed=1, net_weights={some_net: 0.0})
+
+
+# --------------------------------------------------------------- gwtw place
+def test_gwtw_place_beats_single_thread(congested_case):
+    nl, fp = congested_case
+    single = QuadraticPlacer().place(nl, fp, seed=2)
+    single_hpwl = AnnealingRefiner(moves_per_cell=16).refine(single, seed=6)
+
+    parallel = QuadraticPlacer().place(nl, fp, seed=2)
+    result = gwtw_place(parallel, n_threads=4, n_stages=4,
+                        moves_per_cell_per_stage=4, seed=7)
+    # equal per-thread budget split over stages; cloning should not lose
+    assert result.hpwl <= single_hpwl * 1.02
+    assert result.hpwl == pytest.approx(parallel.hpwl(), rel=1e-9)
+    parallel.validate()
+
+
+def test_gwtw_place_trace_monotone(congested_case):
+    nl, fp = congested_case
+    pl = QuadraticPlacer().place(nl, fp, seed=3)
+    result = gwtw_place(pl, n_threads=3, n_stages=3, moves_per_cell_per_stage=3, seed=8)
+    assert all(a >= b - 1e-9 for a, b in zip(result.hpwl_trace, result.hpwl_trace[1:]))
+    assert result.total_moves == 3 * 3 * 3 * len(pl.positions)
+
+
+def test_gwtw_place_validation(congested_case):
+    nl, fp = congested_case
+    pl = QuadraticPlacer().place(nl, fp, seed=4)
+    with pytest.raises(ValueError):
+        gwtw_place(pl, n_threads=1)
+    with pytest.raises(ValueError):
+        gwtw_place(pl, n_stages=0)
+    with pytest.raises(ValueError):
+        gwtw_place(pl, survivor_fraction=1.0)

@@ -1,0 +1,112 @@
+"""The end-to-end SP&R flow."""
+
+import numpy as np
+import pytest
+
+from repro.eda.flow import FlowOptions, SPRFlow
+
+
+@pytest.fixture(scope="module")
+def flow_result(small_spec):
+    return SPRFlow().run(small_spec, FlowOptions(target_clock_ghz=0.6), seed=5)
+
+
+def test_flow_produces_all_steps(flow_result):
+    steps = [log.step for log in flow_result.logs]
+    assert steps == ["synth", "floorplan", "place", "cts", "groute", "opt", "droute", "signoff"]
+
+
+def test_flow_metrics_populated(flow_result):
+    assert flow_result.area > 0
+    assert flow_result.power > 0
+    assert flow_result.hpwl > 0
+    assert flow_result.achieved_ghz > 0
+    assert flow_result.runtime_proxy > 0
+    assert np.isfinite(flow_result.wns)
+
+
+def test_flow_is_deterministic(small_spec):
+    a = SPRFlow().run(small_spec, FlowOptions(), seed=11)
+    b = SPRFlow().run(small_spec, FlowOptions(), seed=11)
+    assert a.area == b.area
+    assert a.wns == b.wns
+    assert a.final_drvs == b.final_drvs
+
+
+def test_flow_seed_noise(small_spec):
+    areas = {SPRFlow().run(small_spec, FlowOptions(), seed=s).wns for s in range(3)}
+    assert len(areas) > 1
+
+
+def test_success_requires_routing_and_timing(flow_result):
+    assert flow_result.success == (flow_result.routed and flow_result.timing_met)
+
+
+def test_meets_constraints(flow_result):
+    if flow_result.success:
+        assert flow_result.meets()
+        assert not flow_result.meets(max_area=flow_result.area / 2)
+        assert not flow_result.meets(max_power=flow_result.power / 2)
+
+
+def test_aggressive_target_fails_timing(small_spec):
+    result = SPRFlow().run(small_spec, FlowOptions(target_clock_ghz=5.0), seed=1)
+    assert not result.timing_met
+    assert result.wns < 0
+
+
+def test_log_text_format(flow_result):
+    text = flow_result.log_text()
+    assert "SP&R flow log" in text
+    assert "droute.drvs[0]" in text
+    assert "signoff.wns" in text
+
+
+def test_flow_options_immutable_with_override():
+    opts = FlowOptions(target_clock_ghz=0.7)
+    faster = opts.with_(target_clock_ghz=0.9)
+    assert opts.target_clock_ghz == 0.7
+    assert faster.target_clock_ghz == 0.9
+    assert faster.utilization == opts.utilization
+
+
+def test_flow_options_validation():
+    with pytest.raises(ValueError):
+        FlowOptions(target_clock_ghz=0.0)
+    with pytest.raises(ValueError):
+        FlowOptions(synth_effort=2.0)
+    with pytest.raises(ValueError):
+        FlowOptions(utilization=0.99)
+
+
+def test_option_space_is_enormous():
+    """The paper: 'well over ten thousand command-option combinations'."""
+    assert FlowOptions.option_space_size() > 10_000
+
+
+def test_clock_period_conversion():
+    assert FlowOptions(target_clock_ghz=0.5).clock_period_ps == pytest.approx(2000.0)
+
+
+def test_stop_callback_reaches_router(small_spec):
+    calls = []
+
+    def stop(history):
+        calls.append(len(history))
+        return False
+
+    SPRFlow(stop_callback=stop).run(small_spec, FlowOptions(), seed=3)
+    assert calls  # the detailed router consulted the callback
+
+
+def test_guardband_option_inflates_area(small_spec):
+    """A pessimistic flow does unneeded sizing work (Sec 3.2 claim)."""
+    lean = SPRFlow().run(
+        small_spec, FlowOptions(target_clock_ghz=0.9, opt_guardband=0.0,
+                                power_recovery=False), seed=7
+    )
+    pessimistic = SPRFlow().run(
+        small_spec, FlowOptions(target_clock_ghz=0.9, opt_guardband=200.0,
+                                power_recovery=False), seed=7
+    )
+    assert pessimistic.area >= lean.area

@@ -1,0 +1,93 @@
+"""Standard-cell library: structure, monotonicity, lookups."""
+
+import pytest
+
+from repro.eda.library import (
+    DRIVE_STRENGTHS,
+    VT_CLASSES,
+    StdCellLibrary,
+    make_default_library,
+)
+
+
+def test_full_library_size(library):
+    # 11 functions x 4 drives x 3 VTs
+    assert len(library.cells) == 11 * 4 * 3
+
+
+def test_all_functions_have_all_variants(library):
+    for function in library.functions:
+        assert len(library.variants(function)) == len(DRIVE_STRENGTHS) * len(VT_CLASSES)
+
+
+def test_drive_reduces_resistance(library):
+    x1 = library.pick("NAND2", 1)
+    x8 = library.pick("NAND2", 8)
+    assert x8.drive_resistance < x1.drive_resistance
+    assert x8.area > x1.area
+    assert x8.input_cap > x1.input_cap
+
+
+def test_vt_tradeoff(library):
+    lvt = library.pick("INV", 2, "LVT")
+    svt = library.pick("INV", 2, "SVT")
+    hvt = library.pick("INV", 2, "HVT")
+    assert lvt.intrinsic_delay < svt.intrinsic_delay < hvt.intrinsic_delay
+    assert lvt.leakage > svt.leakage > hvt.leakage
+
+
+def test_delay_monotone_in_load(library):
+    cell = library.pick("NAND2", 2)
+    assert cell.delay(1.0) < cell.delay(10.0) < cell.delay(100.0)
+
+
+def test_delay_monotone_in_slew(library):
+    cell = library.pick("NOR2", 1)
+    assert cell.delay(5.0, input_slew=5.0) < cell.delay(5.0, input_slew=50.0)
+
+
+def test_negative_load_rejected(library):
+    cell = library.pick("INV", 1)
+    with pytest.raises(ValueError):
+        cell.delay(-1.0)
+    with pytest.raises(ValueError):
+        cell.output_slew(-1.0)
+
+
+def test_resize_and_swap_vt(library):
+    cell = library.pick("AOI21", 1, "SVT")
+    bigger = library.resize(cell, 4)
+    assert bigger.function == "AOI21" and bigger.drive == 4 and bigger.vt == "SVT"
+    faster = library.swap_vt(cell, "LVT")
+    assert faster.function == "AOI21" and faster.drive == 1 and faster.vt == "LVT"
+    with pytest.raises(ValueError):
+        library.resize(cell, 3)
+    with pytest.raises(ValueError):
+        library.swap_vt(cell, "XVT")
+
+
+def test_unknown_lookups(library):
+    with pytest.raises(KeyError):
+        library.get("NAND9_X1_SVT")
+    with pytest.raises(KeyError):
+        library.variants("NAND9")
+
+
+def test_duplicate_add_rejected(library):
+    lib = StdCellLibrary("dup")
+    cell = library.pick("INV", 1)
+    lib.add(cell)
+    with pytest.raises(ValueError):
+        lib.add(cell)
+
+
+def test_dff_is_sequential(library):
+    assert library.pick("DFF", 1).is_sequential
+    assert not library.pick("INV", 1).is_sequential
+
+
+def test_library_is_reproducible():
+    a = make_default_library()
+    b = make_default_library()
+    assert a.cells.keys() == b.cells.keys()
+    assert all(a.cells[k] == b.cells[k] for k in a.cells)

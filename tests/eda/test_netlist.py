@@ -1,0 +1,140 @@
+"""Netlist model: construction, invariants, validation, ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eda.netlist import Netlist, NetlistError
+from repro.eda.synthesis import DesignSpec, synthesize
+
+
+def _tiny(library):
+    nl = Netlist("t", library)
+    nl.add_primary_input("a")
+    nl.add_primary_input("b")
+    clk = nl.add_primary_input("clk")
+    nl.set_clock(clk.name)
+    g0 = nl.add_instance("g0", library.pick("NAND2"), ["a", "b"])
+    g1 = nl.add_instance("g1", library.pick("INV"), [g0.output_net])
+    nl.add_instance("ff0", library.pick("DFF"), [g1.output_net, "clk"])
+    nl.mark_primary_output(g1.output_net)
+    return nl
+
+
+def test_construction_and_counts(library):
+    nl = _tiny(library)
+    nl.validate()
+    assert nl.n_instances == 3
+    assert len(nl.sequential_instances()) == 1
+    assert len(nl.combinational_instances()) == 2
+    assert nl.total_area > 0
+    assert nl.total_leakage > 0
+
+
+def test_net_bookkeeping(library):
+    nl = _tiny(library)
+    assert nl.nets["a"].sinks == [("g0", 0)]
+    assert nl.nets["g0_o"].driver == "g0"
+    assert nl.net_fanout("g1_o") == 2  # DFF D pin + primary output
+
+
+def test_combinational_order_respects_dependencies(library):
+    nl = _tiny(library)
+    order = nl.combinational_order()
+    assert order.index("g0") < order.index("g1")
+
+
+def test_logic_depth(library):
+    nl = _tiny(library)
+    assert nl.logic_depth() == 2
+
+
+def test_duplicate_instance_rejected(library):
+    nl = _tiny(library)
+    with pytest.raises(NetlistError):
+        nl.add_instance("g0", library.pick("INV"), ["a"])
+
+
+def test_unknown_input_net_rejected(library):
+    nl = _tiny(library)
+    with pytest.raises(NetlistError):
+        nl.add_instance("g9", library.pick("INV"), ["nope"])
+
+
+def test_wrong_pin_count_rejected(library):
+    nl = _tiny(library)
+    with pytest.raises(ValueError):
+        nl.add_instance("g9", library.pick("NAND2"), ["a"])
+
+
+def test_duplicate_pi_rejected(library):
+    nl = _tiny(library)
+    with pytest.raises(NetlistError):
+        nl.add_primary_input("a")
+
+
+def test_unknown_po_rejected(library):
+    nl = _tiny(library)
+    with pytest.raises(NetlistError):
+        nl.mark_primary_output("nope")
+
+
+def test_po_mark_idempotent(library):
+    nl = _tiny(library)
+    nl.mark_primary_output("g1_o")
+    assert nl.primary_outputs.count("g1_o") == 1
+
+
+def test_combinational_cycle_detected(library):
+    nl = Netlist("cyc", library)
+    nl.add_primary_input("a")
+    # create g0 feeding g1; then hack g0's input to g1's output
+    g0 = nl.add_instance("g0", library.pick("INV"), ["a"])
+    g1 = nl.add_instance("g1", library.pick("INV"), [g0.output_net])
+    nl.nets["a"].sinks.remove(("g0", 0))
+    g0.input_nets[0] = g1.output_net
+    nl.nets[g1.output_net].sinks.append(("g0", 0))
+    with pytest.raises(NetlistError):
+        nl.combinational_order()
+
+
+def test_sequential_loop_is_legal(library):
+    """A DFF in the loop breaks the combinational cycle."""
+    nl = Netlist("seq", library)
+    clk = nl.add_primary_input("clk")
+    nl.set_clock(clk.name)
+    nl.add_primary_input("a")
+    ff = nl.add_instance("ff0", library.pick("DFF"), ["a", "clk"])
+    g = nl.add_instance("g0", library.pick("INV"), [ff.output_net])
+    # feed the inverter back into the flop
+    nl.nets["a"].sinks.remove(("ff0", 0))
+    ff.input_nets[0] = g.output_net
+    nl.nets[g.output_net].sinks.append(("ff0", 0))
+    nl.validate()  # no exception
+
+
+def test_replace_cell_same_function_only(library):
+    nl = _tiny(library)
+    nl.replace_cell("g0", library.pick("NAND2", 4))
+    assert nl.instances["g0"].cell.drive == 4
+    with pytest.raises(NetlistError):
+        nl.replace_cell("g0", library.pick("NOR2", 1))
+
+
+def test_stats_keys(small_netlist):
+    stats = small_netlist.stats()
+    for key in ("instances", "nets", "flops", "area", "depth", "avg_fanout"):
+        assert key in stats
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_synthesized_netlists_validate(library, seed):
+    """Any seeded synthesis run yields a structurally valid netlist with
+    the requested interface size."""
+    spec = DesignSpec("prop", n_gates=60, n_flops=8, n_inputs=6, n_outputs=6, depth=6)
+    nl = synthesize(spec, library, effort=0.5, seed=seed)
+    nl.validate()
+    assert len(nl.primary_inputs) == spec.n_inputs + 1  # + clock
+    assert len(nl.sequential_instances()) == spec.n_flops
+    assert nl.logic_depth() >= 1

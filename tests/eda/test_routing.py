@@ -1,0 +1,138 @@
+"""Routing: global congestion behaviour and detailed-route dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eda.floorplan import make_floorplan
+from repro.eda.placement import QuadraticPlacer
+from repro.eda.routing import (
+    SUCCESS_DRV_THRESHOLD,
+    DetailedRouter,
+    GlobalRouter,
+)
+
+
+# ------------------------------------------------------------ global route
+def test_global_route_produces_demand(small_placement):
+    result = GlobalRouter().route(small_placement, seed=1)
+    assert result.demand_h.sum() + result.demand_v.sum() > 0
+    assert result.wirelength > 0
+
+
+def test_congestion_map_shape_and_range(small_congestion):
+    assert small_congestion.shape == (16, 16)
+    assert small_congestion.min() >= 0.0
+    assert np.isfinite(small_congestion).all()
+
+
+def test_supply_scales_congestion(small_placement):
+    rich = GlobalRouter(tracks_per_um=40.0).route(small_placement, seed=1)
+    poor = GlobalRouter(tracks_per_um=6.0).route(small_placement, seed=1)
+    assert poor.max_congestion > rich.max_congestion
+    assert poor.overflow >= rich.overflow
+
+
+def test_utilization_increases_congestion(small_netlist):
+    def max_cong(util):
+        fp = make_floorplan(small_netlist, utilization=util)
+        pl = QuadraticPlacer().place(small_netlist, fp, seed=2)
+        return GlobalRouter().route(pl, seed=3).congestion_map().mean()
+
+    assert max_cong(0.9) > max_cong(0.5)
+
+
+def test_negotiation_reduces_overflow(small_placement):
+    none = GlobalRouter(negotiation_rounds=0, tracks_per_um=8.0).route(small_placement, seed=4)
+    some = GlobalRouter(negotiation_rounds=4, tracks_per_um=8.0).route(small_placement, seed=4)
+    assert some.overflow <= none.overflow
+
+
+def test_router_validation():
+    with pytest.raises(ValueError):
+        GlobalRouter(nx=1)
+    with pytest.raises(ValueError):
+        GlobalRouter(tracks_per_um=0.0)
+
+
+# ----------------------------------------------------------- detailed route
+def test_easy_map_converges_to_zero():
+    cong = np.full((16, 16), 0.6)
+    result = DetailedRouter().route(cong, seed=1)
+    assert result.final_drvs == 0
+    assert result.success
+
+
+def test_doomed_map_stays_high():
+    cong = np.full((16, 16), 1.35)
+    result = DetailedRouter().route(cong, seed=1)
+    assert result.final_drvs > SUCCESS_DRV_THRESHOLD
+    assert not result.success
+
+
+def test_drv_history_starts_at_seeded_count():
+    cong = np.full((8, 8), 1.0)
+    result = DetailedRouter(max_iterations=5).route(cong, seed=2)
+    assert len(result.drvs_per_iteration) == result.iterations_run + 1
+    assert result.initial_drvs == result.drvs_per_iteration[0]
+
+
+def test_effort_speeds_convergence():
+    cong = np.full((16, 16), 0.85)
+    lazy = DetailedRouter(effort=0.25, shock_prob=0.0).route(cong, seed=3)
+    eager = DetailedRouter(effort=1.0, shock_prob=0.0).route(cong, seed=3)
+    assert eager.final_drvs <= lazy.final_drvs
+
+
+def test_stop_callback_terminates_early():
+    cong = np.full((16, 16), 1.3)
+    stopped = DetailedRouter(max_iterations=20).route(
+        cong, seed=4, stop_callback=lambda hist: len(hist) >= 4
+    )
+    assert stopped.stopped_early
+    assert stopped.iterations_run <= 4
+    assert not stopped.success  # stopped runs never count as successes
+
+
+def test_determinism_given_seed():
+    cong = np.full((12, 12), 0.95)
+    a = DetailedRouter().route(cong, seed=9)
+    b = DetailedRouter().route(cong, seed=9)
+    assert a.drvs_per_iteration == b.drvs_per_iteration
+
+
+def test_seed_changes_trajectory():
+    cong = np.full((12, 12), 0.95)
+    a = DetailedRouter().route(cong, seed=1)
+    b = DetailedRouter().route(cong, seed=2)
+    assert a.drvs_per_iteration != b.drvs_per_iteration
+
+
+def test_metadata_recorded():
+    cong = np.full((8, 8), 1.1)
+    result = DetailedRouter().route(cong, seed=5)
+    assert result.metadata["max_congestion"] == pytest.approx(1.1)
+    assert result.metadata["overflow_fraction"] == pytest.approx(1.0)
+
+
+def test_detailed_router_validation():
+    with pytest.raises(ValueError):
+        DetailedRouter(max_iterations=0)
+    with pytest.raises(ValueError):
+        DetailedRouter(effort=0.0)
+    with pytest.raises(ValueError):
+        DetailedRouter(shock_prob=2.0)
+    with pytest.raises(ValueError):
+        DetailedRouter().route(np.zeros(5), seed=0)  # 1-D map
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    base=st.floats(min_value=0.3, max_value=1.4, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_drvs_never_negative(base, seed):
+    cong = np.full((8, 8), base)
+    result = DetailedRouter(max_iterations=8).route(cong, seed=seed)
+    assert all(v >= 0 for v in result.drvs_per_iteration)

@@ -1,0 +1,116 @@
+"""Cross-package integration: the paper's pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.bench import RouterLogCorpus, pulpino_profile
+from repro.core.bandit import (
+    BatchBanditScheduler,
+    FlowArmEnvironment,
+    ThompsonSampling,
+)
+from repro.core.doomed import MDPCardLearner, evaluate_policy, make_stop_callback
+from repro.core.correlation import MiscorrelationModel, build_correlation_dataset
+from repro.eda.flow import FlowOptions, SPRFlow
+from repro.eda.synthesis import DesignSpec
+from repro.metrics import DataMiner, InstrumentedFlow, MetricsServer
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return DesignSpec("itiny", n_gates=100, n_flops=12, n_inputs=8, n_outputs=8,
+                      depth=8, locality=0.8)
+
+
+def test_mab_over_real_flow(tiny_spec):
+    """Sec 3.1 end to end: TS scheduling actual flow runs.
+
+    The aggressive arms fail; TS should concentrate pulls on feasible
+    frequencies and collect nonzero reward.
+    """
+    env = FlowArmEnvironment(
+        tiny_spec,
+        target_frequencies=[0.5, 1.0, 4.0, 6.0],
+        seed=0,
+    )
+    policy = ThompsonSampling(env.n_arms, seed=1)
+    result = BatchBanditScheduler(n_iterations=6, n_concurrent=2).run(policy, env)
+    assert result.total_reward > 0
+    assert len(env.history) == 12
+    # the hopeless 6GHz arm must not dominate late pulls
+    late = [r.arm for r in result.records if r.iteration >= 3]
+    assert late.count(3) < len(late)
+    assert env.describe_arm(0).endswith("GHz")
+
+
+def test_doomed_predictor_prunes_real_flow(tiny_spec):
+    """Sec 3.3 end to end: card trained on logs prunes a doomed flow."""
+    train = RouterLogCorpus.artificial(n=150, seed=3)
+    card = MDPCardLearner().fit(train)
+    callback = make_stop_callback(card, consecutive=2)
+    # congested setup: the detailed route will be doomed
+    doomed_options = FlowOptions(utilization=0.95, router_tracks_per_um=7.0)
+    unpruned = SPRFlow().run(tiny_spec, doomed_options, seed=4)
+    pruned = SPRFlow(stop_callback=callback).run(tiny_spec, doomed_options, seed=4)
+    droute_unpruned = [l for l in unpruned.logs if l.step == "droute"][0]
+    droute_pruned = [l for l in pruned.logs if l.step == "droute"][0]
+    if not unpruned.routed:  # run was indeed doomed
+        assert droute_pruned.metrics["iterations"] <= droute_unpruned.metrics["iterations"]
+
+
+def test_correlation_to_guardband_pipeline():
+    """Sec 3.2 end to end: dataset -> model -> reduced guardband."""
+    from repro.core.correlation import guardband_for
+
+    ds = build_correlation_dataset(n_designs=3, seed=5)
+    train, test = ds.split(0.7, seed=0)
+    model = MiscorrelationModel(kind="ridge").fit(train)
+    raw = guardband_for(test.cheap_slack, test.golden_slack)
+    ml = guardband_for(model.predict_golden(test), test.golden_slack)
+    assert ml < raw
+
+
+def test_metrics_loop_on_flow(tiny_spec):
+    """Sec 4 end to end: instrument, collect, mine, re-run."""
+    server = MetricsServer()
+    flow = InstrumentedFlow(server)
+    rng = np.random.default_rng(6)
+    for i in range(8):
+        options = FlowOptions(
+            target_clock_ghz=float(rng.uniform(0.5, 1.5)),
+            utilization=float(rng.uniform(0.55, 0.85)),
+        )
+        flow.run(tiny_spec, options, seed=i)
+    rec = DataMiner(server, seed=0).recommend_options("flow.area")
+    # materialize the recommendation and run it
+    materialized = FlowOptions(
+        target_clock_ghz=float(np.clip(rec.options.get("flow.target_ghz", 0.8), 0.1, 2.0)),
+        utilization=float(np.clip(rec.options.get("option.utilization", 0.7), 0.4, 0.9)),
+    )
+    result = flow.run(tiny_spec, materialized, seed=99)
+    assert result.area > 0
+    assert len(server.runs()) == 9
+
+
+def test_pulpino_flow_reaches_signoff():
+    """The headline testcase: PULPino profile through the whole flow."""
+    spec = pulpino_profile(scale=0.5)
+    result = SPRFlow().run(spec, FlowOptions(target_clock_ghz=0.5), seed=0)
+    assert result.routed
+    assert result.timing_met
+    assert [log.step for log in result.logs][-1] == "signoff"
+
+
+def test_doomed_table_shape_small():
+    """The Sec 3.3 table's qualitative shape on small corpora."""
+    train = RouterLogCorpus.artificial(n=200, seed=7)
+    test = RouterLogCorpus.cpu_floorplans(n=150, seed=8, n_base_maps=2)
+    card = MDPCardLearner().fit(train)
+    e1 = evaluate_policy(card, test, 1)
+    e2 = evaluate_policy(card, test, 2)
+    e3 = evaluate_policy(card, test, 3)
+    # requiring more consecutive STOPs monotonically removes Type-1
+    # (premature-stop) errors; the full-size corpora in the benchmark
+    # reproduce the total-error column too
+    assert e3.type1_errors <= e2.type1_errors <= e1.type1_errors
+    assert e2.error_rate <= e1.error_rate + 0.02

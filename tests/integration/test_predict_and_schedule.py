@@ -1,0 +1,67 @@
+"""Integration: rope-predicted runtimes drive project scheduling.
+
+Paper footnote 4 / ref [1]: schedule and resource optimization
+"supported by accurate estimates" cuts design cost.  The rope
+predictors supply the estimates; the scheduler consumes them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.generators import artificial_profile
+from repro.core.orchestration.resources import (
+    ResourcePool,
+    compare_policies,
+    jobs_from_flow_estimates,
+    schedule_jobs,
+)
+from repro.core.prediction import RopePredictor, build_rope_dataset
+
+
+@pytest.fixture(scope="module")
+def rope_data():
+    specs = [artificial_profile(i) for i in range(2)]
+    return build_rope_dataset(specs=specs, n_runs=24, seed=77)
+
+
+def test_runtime_is_predictable_early(rope_data):
+    """A span-1 (post-synthesis) model predicts total flow runtime."""
+    train, test = rope_data.split(0.7, seed=0)
+
+    # target: total runtime proxy — derive from results
+    import copy
+
+    class RuntimeRope(RopePredictor):
+        def fit(self, dataset):
+            X = dataset.features(self.span)
+            y = np.array([r.runtime_proxy for r in dataset.results])
+            from repro.ml.forest import RandomForestRegressor
+
+            self._model = RandomForestRegressor(
+                n_estimators=30, max_depth=6, random_state=0
+            )
+            self._model.fit(X, y)
+            return self
+
+    predictor = RuntimeRope(span=1, target="area", seed=0).fit(train)
+    predicted = predictor.predict(test)
+    actual = np.array([r.runtime_proxy for r in test.results])
+    # correlation is what scheduling needs (ordering, not absolutes)
+    corr = float(np.corrcoef(predicted, actual)[0, 1])
+    assert corr > 0.3
+
+
+def test_estimates_feed_scheduler(rope_data):
+    """Predicted runtimes produce a valid, better-than-random schedule."""
+    estimates = {
+        f"run{i}": r.runtime_proxy * (1.0 + 0.1 * ((i % 3) - 1))  # noisy estimates
+        for i, r in enumerate(rope_data.results)
+    }
+    jobs = jobs_from_flow_estimates(estimates)
+    pool = ResourcePool(machines=4, licenses={"pnr": 3})
+    results = compare_policies(jobs, pool, seed=1)
+    # LPT with (even noisy) estimates must not lose to random dispatch
+    assert results["lpt"] <= results["random"] * 1.05
+    schedule = schedule_jobs(jobs, pool, "lpt")
+    assert len(schedule.entries) == len(jobs)
+    assert 0.0 < schedule.utilization(pool) <= 1.0

@@ -1,0 +1,68 @@
+"""Anomaly flagging in the METRICS miner."""
+
+import numpy as np
+import pytest
+
+from repro.eda.flow import FlowOptions
+from repro.metrics import DataMiner, InstrumentedFlow, MetricsServer, Transmitter
+
+
+@pytest.fixture(scope="module")
+def server_with_runs(small_spec):
+    server = MetricsServer()
+    flow = InstrumentedFlow(server)
+    rng = np.random.default_rng(0)
+    for i in range(10):
+        options = FlowOptions(
+            target_clock_ghz=float(rng.uniform(0.6, 1.0)),
+            utilization=float(rng.uniform(0.6, 0.8)),
+        )
+        flow.run(small_spec, options, seed=i)
+    return server
+
+
+def test_clean_runs_mostly_unflagged(server_with_runs):
+    miner = DataMiner(server_with_runs, seed=0)
+    flagged = miner.flag_anomalies("flow.area", z_threshold=3.0)
+    assert len(flagged) <= 2  # normal seed noise stays under 3 sigma
+
+
+def test_corrupted_run_is_flagged(server_with_runs, small_spec):
+    # inject a run whose reported area is absurd for its options
+    with Transmitter(server_with_runs, small_spec.name, "corrupt-run", "spr_flow") as tx:
+        tx.send("flow.area", 50_000.0)
+        tx.send("flow.target_ghz", 0.8)
+        tx.send("option.synth_effort", 0.5)
+        tx.send("option.utilization", 0.7)
+        tx.send("option.cts_effort", 0.5)
+        tx.send("option.router_effort", 0.6)
+        tx.send("option.opt_guardband", 0.0)
+        tx.send("flow.success", 1.0)
+        # pad the remaining common metrics so the table stays dense
+        for name, value in (
+            ("flow.achieved_ghz", 0.8), ("flow.runtime", 1.0),
+            ("signoff.wns", 0.0), ("signoff.tns", 0.0), ("signoff.power", 1.0),
+            ("signoff.ir_drop", 0.0), ("droute.final_drvs", 0.0),
+            ("droute.iterations", 1.0), ("groute.overflow", 0.0),
+            ("groute.max_congestion", 0.5), ("groute.wirelength", 1.0),
+            ("place.hpwl", 1.0), ("place.density_max", 0.5),
+            ("cts.skew", 1.0), ("cts.buffers", 1.0),
+            ("synth.instances", 100.0), ("synth.depth", 10.0),
+            ("synth.area", 50.0), ("floorplan.width", 10.0),
+            ("floorplan.height", 10.0), ("floorplan.utilization", 0.7),
+            ("opt.wns_graph", 0.0), ("opt.sizing_ops", 0.0),
+        ):
+            tx.send(name, value)
+    miner = DataMiner(server_with_runs, seed=0)
+    flagged = miner.flag_anomalies("flow.area", z_threshold=2.5)
+    assert "corrupt-run" in flagged
+    assert abs(flagged["corrupt-run"]) > 2.5
+
+
+def test_anomaly_validation(server_with_runs):
+    miner = DataMiner(server_with_runs, seed=0)
+    with pytest.raises(ValueError):
+        miner.flag_anomalies(z_threshold=0.0)
+    empty = MetricsServer()
+    with pytest.raises(ValueError):
+        DataMiner(empty).flag_anomalies()

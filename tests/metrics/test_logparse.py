@@ -1,0 +1,94 @@
+"""Wrapper-script logfile parsing."""
+
+import pytest
+
+from repro.eda.flow import FlowOptions, SPRFlow
+from repro.metrics import MetricsServer
+from repro.metrics.logparse import (
+    FlowLogParseError,
+    drv_trajectory_from_log,
+    parse_flow_log,
+    transmit_flow_log,
+)
+from repro.metrics.wrappers import InstrumentedFlow
+
+
+@pytest.fixture(scope="module")
+def flow_log(small_spec):
+    result = SPRFlow().run(small_spec, FlowOptions(target_clock_ghz=0.6), seed=9)
+    return result, result.log_text()
+
+
+def test_parse_header_and_metrics(flow_log):
+    result, text = flow_log
+    header, metrics, series = parse_flow_log(text)
+    assert header["design"] == result.design
+    assert float(header["target_ghz"]) == pytest.approx(0.6)
+    assert metrics["signoff.wns"] == pytest.approx(result.wns, abs=0.01)
+    assert metrics["droute.final_drvs"] == result.final_drvs
+
+
+def test_parse_series(flow_log):
+    result, text = flow_log
+    _, _, series = parse_flow_log(text)
+    drvs = series["droute.drvs"]
+    droute_log = next(l for l in result.logs if l.step == "droute")
+    assert drvs == droute_log.series["drvs"]
+
+
+def test_drv_trajectory_matches_history(flow_log):
+    result, text = flow_log
+    trajectory = drv_trajectory_from_log(text)
+    assert trajectory is not None
+    assert trajectory[-1] == result.final_drvs
+    assert all(isinstance(v, int) for v in trajectory)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(FlowLogParseError):
+        parse_flow_log("this is not a flow log")
+    with pytest.raises(FlowLogParseError):
+        parse_flow_log("# SP&R flow log: design=x seed=1 target=0.500GHz\n")
+
+
+def test_wrapper_path_matches_api_path(small_spec, flow_log):
+    """The text-log wrapper and the API instrumentation must agree on
+    every vocabulary metric they both report."""
+    result, text = flow_log
+    api_server = MetricsServer()
+    InstrumentedFlow(api_server).report(result, "api-run")
+    api_vec = api_server.run_vector("api-run")
+
+    log_server = MetricsServer()
+    n = transmit_flow_log(text, log_server, "log-run")
+    assert n > 10
+    log_vec = log_server.run_vector("log-run")
+
+    for key in set(api_vec) & set(log_vec):
+        assert api_vec[key] == pytest.approx(log_vec[key], abs=0.01), key
+
+
+def test_wrapper_tolerates_extra_lines(flow_log):
+    _, text = flow_log
+    noisy = "random tool banner\n" + text + "\nWARNING: something\n"
+    server = MetricsServer()
+    assert transmit_flow_log(noisy, server, "noisy-run") > 0
+
+
+def test_doomed_predictor_trains_from_text_logs(small_spec):
+    """End to end: archive text logs, recover DRV series, train."""
+    from repro.bench.corpus import RouterLog
+    from repro.core.doomed import MDPCardLearner
+
+    flow = SPRFlow()
+    logs = []
+    for seed in range(6):
+        options = FlowOptions(utilization=0.9 if seed % 2 else 0.6,
+                              router_tracks_per_um=9.0 if seed % 2 else 18.0)
+        result = flow.run(small_spec, options, seed=seed)
+        drvs = drv_trajectory_from_log(result.log_text())
+        logs.append(RouterLog(drvs=drvs, success=result.routed,
+                              domain="archive", difficulty=0.0))
+    if len({log.success for log in logs}) == 2:
+        card = MDPCardLearner().fit(logs)
+        assert card.counts()["visited"] > 0

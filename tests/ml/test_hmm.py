@@ -1,0 +1,110 @@
+"""Hidden Markov models: probability invariants, learning, decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.hmm import DiscreteHMM
+
+
+def _rowstochastic(mat):
+    return np.allclose(np.asarray(mat).sum(axis=-1), 1.0)
+
+
+def test_initial_parameters_are_stochastic():
+    hmm = DiscreteHMM(3, 4, random_state=0)
+    assert _rowstochastic(hmm.startprob_[None, :])
+    assert _rowstochastic(hmm.transmat_)
+    assert _rowstochastic(hmm.emissionprob_)
+
+
+def test_fit_preserves_stochasticity():
+    rng = np.random.default_rng(0)
+    seqs = [rng.integers(0, 4, size=20).tolist() for _ in range(5)]
+    hmm = DiscreteHMM(2, 4, random_state=1).fit(seqs)
+    assert _rowstochastic(hmm.startprob_[None, :])
+    assert _rowstochastic(hmm.transmat_)
+    assert _rowstochastic(hmm.emissionprob_)
+
+
+def test_fit_increases_likelihood():
+    rng = np.random.default_rng(2)
+    # structured data: long runs of the same symbol
+    seqs = []
+    for _ in range(6):
+        seq = []
+        for sym in rng.integers(0, 3, size=4):
+            seq += [int(sym)] * 5
+        seqs.append(seq)
+    before = DiscreteHMM(3, 3, n_iter=0, random_state=3)
+    ll_before = sum(before.score(s) for s in seqs)
+    after = DiscreteHMM(3, 3, n_iter=40, random_state=3).fit(seqs)
+    ll_after = sum(after.score(s) for s in seqs)
+    assert ll_after > ll_before
+
+
+def test_score_is_log_probability():
+    hmm = DiscreteHMM(2, 2, random_state=0)
+    assert hmm.score([0, 1, 0]) < 0.0  # log of probability < 1
+
+
+def test_score_sums_over_length1_alphabet():
+    """With one symbol every sequence has probability 1."""
+    hmm = DiscreteHMM(2, 1, random_state=0)
+    assert hmm.score([0, 0, 0]) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_viterbi_path_length_and_range():
+    hmm = DiscreteHMM(3, 4, random_state=1)
+    path = hmm.viterbi([0, 1, 2, 3, 0])
+    assert path.shape == (5,)
+    assert path.min() >= 0 and path.max() < 3
+
+
+def test_viterbi_follows_deterministic_emissions():
+    hmm = DiscreteHMM(2, 2, random_state=0)
+    hmm.startprob_ = np.array([0.5, 0.5])
+    hmm.transmat_ = np.array([[0.9, 0.1], [0.1, 0.9]])
+    hmm.emissionprob_ = np.array([[1.0, 0.0], [0.0, 1.0]])
+    path = hmm.viterbi([0, 0, 1, 1])
+    assert path.tolist() == [0, 0, 1, 1]
+
+
+def test_out_of_range_symbol_rejected():
+    hmm = DiscreteHMM(2, 3, random_state=0)
+    with pytest.raises(ValueError):
+        hmm.score([0, 3])
+    with pytest.raises(ValueError):
+        hmm.score([-1])
+
+
+def test_empty_sequence_rejected():
+    hmm = DiscreteHMM(2, 3, random_state=0)
+    with pytest.raises(ValueError):
+        hmm.score([])
+    with pytest.raises(ValueError):
+        hmm.fit([])
+
+
+def test_classification_by_likelihood_ratio():
+    """Two HMMs trained on different dynamics separate new sequences —
+    the mechanism behind the doomed-run HMM predictor."""
+    rng = np.random.default_rng(4)
+    rising = [sorted(rng.integers(0, 5, size=12).tolist()) for _ in range(8)]
+    falling = [sorted(rng.integers(0, 5, size=12).tolist(), reverse=True) for _ in range(8)]
+    m_rise = DiscreteHMM(2, 5, random_state=5).fit(rising)
+    m_fall = DiscreteHMM(2, 5, random_state=6).fit(falling)
+    probe = sorted(rng.integers(0, 5, size=12).tolist())
+    assert m_rise.score(probe) > m_fall.score(probe)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_forward_scales_positive(seed):
+    """The scaled forward pass never produces zero/negative scale
+    factors, so scores are always finite."""
+    rng = np.random.default_rng(seed)
+    hmm = DiscreteHMM(2, 3, random_state=seed)
+    seq = rng.integers(0, 3, size=15).tolist()
+    assert np.isfinite(hmm.score(seq))

@@ -1,0 +1,130 @@
+"""Linear models: exact recovery, regularization, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.linear import LinearRegression, PolynomialFeatures, RidgeRegression
+from repro.ml.metrics import r2_score
+
+
+def test_ols_recovers_exact_linear_map():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(60, 3))
+    w_true = np.array([2.0, -1.0, 0.5])
+    y = X @ w_true + 3.0
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.coef_, w_true, atol=1e-8)
+    assert model.intercept_ == pytest.approx(3.0, abs=1e-8)
+
+
+def test_ols_without_intercept():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(40, 2))
+    y = X @ np.array([1.5, -2.0])
+    model = LinearRegression(fit_intercept=False).fit(X, y)
+    assert model.intercept_ == 0.0
+    assert np.allclose(model.coef_, [1.5, -2.0], atol=1e-8)
+
+
+def test_ols_1d_input_promoted():
+    x = np.linspace(0, 1, 20)
+    y = 2.0 * x + 1.0
+    model = LinearRegression().fit(x, y)
+    assert model.predict([[0.5]])[0] == pytest.approx(2.0, abs=1e-8)
+
+
+def test_ridge_shrinks_toward_zero():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(30, 4))
+    y = X @ np.array([5.0, -5.0, 2.0, 1.0]) + 0.01 * rng.normal(size=30)
+    loose = RidgeRegression(alpha=1e-6).fit(X, y)
+    tight = RidgeRegression(alpha=1e3).fit(X, y)
+    assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+
+def test_ridge_alpha_zero_matches_ols():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(50, 3))
+    y = X @ np.array([1.0, 2.0, 3.0]) + 0.5
+    ols = LinearRegression().fit(X, y)
+    ridge = RidgeRegression(alpha=0.0).fit(X, y)
+    assert np.allclose(ols.coef_, ridge.coef_, atol=1e-6)
+    assert ols.intercept_ == pytest.approx(ridge.intercept_, abs=1e-6)
+
+
+def test_ridge_handles_collinear_features():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=50)
+    X = np.stack([x, x], axis=1)  # perfectly collinear
+    y = 2.0 * x
+    model = RidgeRegression(alpha=1.0).fit(X, y)
+    pred = model.predict(X)
+    assert r2_score(y, pred) > 0.95
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        LinearRegression().predict([[1.0]])
+
+
+def test_feature_count_mismatch_raises():
+    model = LinearRegression().fit([[1.0, 2.0]] * 3, [1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        model.predict([[1.0]])
+
+
+def test_empty_fit_raises():
+    with pytest.raises(ValueError):
+        LinearRegression().fit(np.empty((0, 2)), np.empty(0))
+
+
+def test_row_mismatch_raises():
+    with pytest.raises(ValueError):
+        LinearRegression().fit([[1.0], [2.0]], [1.0])
+
+
+def test_negative_alpha_rejected():
+    with pytest.raises(ValueError):
+        RidgeRegression(alpha=-1.0)
+
+
+def test_polynomial_features_degree2():
+    X = np.array([[2.0, 3.0]])
+    out = PolynomialFeatures(degree=2).transform(X)
+    # columns: a, b, a^2, ab, b^2
+    assert np.allclose(out, [[2.0, 3.0, 4.0, 6.0, 9.0]])
+
+
+def test_polynomial_degree1_is_identity():
+    X = np.array([[1.0, -2.0], [0.5, 4.0]])
+    assert np.allclose(PolynomialFeatures(degree=1).transform(X), X)
+
+
+def test_polynomial_degree_validation():
+    with pytest.raises(ValueError):
+        PolynomialFeatures(degree=0)
+
+
+def test_polynomial_plus_linear_fits_quadratic():
+    x = np.linspace(-2, 2, 50).reshape(-1, 1)
+    y = (3.0 * x**2 - x + 1.0).ravel()
+    X_poly = PolynomialFeatures(degree=2).transform(x)
+    model = LinearRegression().fit(X_poly, y)
+    assert r2_score(y, model.predict(X_poly)) > 0.9999
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=40),
+    slope=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    intercept=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+def test_property_ols_exact_on_noiseless_line(n, slope, intercept):
+    """OLS must recover any noiseless affine map exactly."""
+    x = np.linspace(0.0, 1.0, n)
+    y = slope * x + intercept
+    model = LinearRegression().fit(x, y)
+    assert model.coef_[0] == pytest.approx(slope, abs=1e-6)
+    assert model.intercept_ == pytest.approx(intercept, abs=1e-6)

@@ -1,0 +1,64 @@
+"""Logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import accuracy_score
+
+
+def test_separable_data_classified():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 2))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    model = LogisticRegression().fit(X, y)
+    assert accuracy_score(y, model.predict(X)) > 0.97
+
+
+def test_probabilities_bounded_and_monotone():
+    x = np.linspace(-3, 3, 100).reshape(-1, 1)
+    y = (x.ravel() > 0).astype(int)
+    model = LogisticRegression().fit(x, y)
+    p = model.predict_proba(x)
+    assert p.min() >= 0.0 and p.max() <= 1.0
+    assert (np.diff(p) >= -1e-12).all()  # monotone in the feature
+
+
+def test_coefficient_sign_matches_effect():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 2))
+    y = (2 * X[:, 0] - 3 * X[:, 1] > 0).astype(int)
+    model = LogisticRegression().fit(X, y)
+    assert model.coef_[0] > 0
+    assert model.coef_[1] < 0
+
+
+def test_regularization_shrinks_weights():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(100, 2))
+    y = (X[:, 0] > 0).astype(int)
+    loose = LogisticRegression(alpha=1e-6).fit(X, y)
+    tight = LogisticRegression(alpha=100.0).fit(X, y)
+    assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+
+def test_single_class_degenerates_gracefully():
+    X = np.arange(10).reshape(-1, 1).astype(float)
+    model = LogisticRegression().fit(X, np.ones(10))
+    assert (model.predict_proba(X) > 0.99).all()
+    model0 = LogisticRegression().fit(X, np.zeros(10))
+    assert (model0.predict_proba(X) < 0.01).all()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LogisticRegression(alpha=-1.0)
+    with pytest.raises(ValueError):
+        LogisticRegression().fit([[1.0]], [2.0])  # non-binary label
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.empty((0, 1)), np.empty(0))
+    with pytest.raises(RuntimeError):
+        LogisticRegression().predict([[1.0]])
+    model = LogisticRegression().fit([[0.0], [1.0]], [0, 1])
+    with pytest.raises(ValueError):
+        model.predict([[1.0, 2.0]])

@@ -1,0 +1,104 @@
+"""Finite MDPs: solver correctness and agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.mdp import FiniteMDP, policy_iteration, value_iteration
+
+
+def _two_state_mdp(gamma=0.9):
+    """State 0: action 1 pays 1 and moves to absorbing state 1."""
+    T = np.zeros((2, 2, 2))
+    T[0, 0, 0] = 1.0  # action 0 in state 0: stay
+    T[0, 1, 1] = 1.0
+    T[1, 0, 1] = 1.0  # action 1 in state 0: go to 1, reward 1
+    T[1, 1, 1] = 1.0
+    R = np.array([[0.0, 0.0], [1.0, 0.0]])
+    return FiniteMDP(T, R, gamma=gamma)
+
+
+def test_value_iteration_optimal_action():
+    _, policy = value_iteration(_two_state_mdp())
+    assert policy[0] == 1
+
+
+def test_policy_iteration_optimal_action():
+    _, policy = policy_iteration(_two_state_mdp())
+    assert policy[0] == 1
+
+
+def test_solvers_agree():
+    mdp = _two_state_mdp()
+    v1, p1 = value_iteration(mdp, tol=1e-10)
+    v2, p2 = policy_iteration(mdp)
+    assert np.array_equal(p1, p2)
+    assert np.allclose(v1, v2, atol=1e-6)
+
+
+def test_values_match_geometric_series():
+    """Self-loop with reward 1 has value 1/(1-gamma)."""
+    T = np.ones((1, 1, 1))
+    R = np.ones((1, 1))
+    mdp = FiniteMDP(T, R, gamma=0.5)
+    v, _ = value_iteration(mdp, tol=1e-12)
+    assert v[0] == pytest.approx(2.0, abs=1e-6)
+
+
+def test_gamma_zero_is_myopic():
+    """With gamma=0 the policy maximizes immediate reward only."""
+    T = np.zeros((2, 2, 2))
+    T[:, :, 1] = 1.0  # everything moves to state 1
+    R = np.array([[0.5, 0.0], [0.2, 0.0]])
+    mdp = FiniteMDP(T, R, gamma=0.0)
+    _, policy = value_iteration(mdp)
+    assert policy[0] == 0
+
+
+def test_transition_validation():
+    T = np.zeros((1, 2, 2))
+    T[0, 0, 0] = 0.5  # rows don't sum to 1
+    T[0, 1, 1] = 1.0
+    with pytest.raises(ValueError):
+        FiniteMDP(T, np.zeros((1, 2)))
+
+
+def test_reward_shape_validation():
+    T = np.zeros((1, 2, 2))
+    T[0, 0, 0] = 1.0
+    T[0, 1, 1] = 1.0
+    with pytest.raises(ValueError):
+        FiniteMDP(T, np.zeros((2, 2)))
+
+
+def test_gamma_validation():
+    T = np.ones((1, 1, 1))
+    with pytest.raises(ValueError):
+        FiniteMDP(T, np.zeros((1, 1)), gamma=1.0)
+    with pytest.raises(ValueError):
+        FiniteMDP(T, np.zeros((1, 1)), gamma=-0.1)
+
+
+def test_q_values_shape():
+    mdp = _two_state_mdp()
+    q = mdp.q_values(np.zeros(2))
+    assert q.shape == (2, 2)
+    assert q[1, 0] == pytest.approx(1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_random_mdps_solvers_agree(seed):
+    """On random MDPs, policy iteration and value iteration find
+    policies of equal value (the optimal value is unique even when the
+    argmax policy is not)."""
+    rng = np.random.default_rng(seed)
+    n_s, n_a = 4, 3
+    T = rng.random((n_a, n_s, n_s))
+    T = T / T.sum(axis=2, keepdims=True)
+    R = rng.normal(size=(n_a, n_s))
+    mdp = FiniteMDP(T, R, gamma=0.9)
+    v1, _ = value_iteration(mdp, tol=1e-10)
+    v2, _ = policy_iteration(mdp)
+    assert np.allclose(v1, v2, atol=1e-5)

@@ -1,0 +1,222 @@
+"""Evaluation metrics, scalers, model selection, and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.cluster import KMeans
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.linear import LinearRegression
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+from repro.ml.stats import (
+    chi_square_normality,
+    excess_kurtosis,
+    fit_normal,
+    jarque_bera,
+    skewness,
+)
+
+
+# ---------------------------------------------------------------- metrics
+def test_mae_mse_rmse_relations():
+    y = np.array([1.0, 2.0, 3.0])
+    p = np.array([1.0, 2.0, 5.0])
+    assert mean_absolute_error(y, p) == pytest.approx(2.0 / 3.0)
+    assert mean_squared_error(y, p) == pytest.approx(4.0 / 3.0)
+    assert root_mean_squared_error(y, p) == pytest.approx(np.sqrt(4.0 / 3.0))
+
+
+def test_r2_perfect_and_mean_baseline():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+
+def test_r2_constant_target_convention():
+    y = np.full(4, 5.0)
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, y + 1.0) == 0.0
+
+
+def test_accuracy_and_confusion():
+    y = ["a", "a", "b", "b"]
+    p = ["a", "b", "b", "b"]
+    assert accuracy_score(y, p) == 0.75
+    mat = confusion_matrix(y, p, labels=["a", "b"])
+    assert mat.tolist() == [[1, 1], [0, 2]]
+
+
+def test_metrics_reject_mismatched_or_empty():
+    with pytest.raises(ValueError):
+        mean_absolute_error([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        mean_squared_error([], [])
+
+
+# ---------------------------------------------------------------- scalers
+def test_standard_scaler_roundtrip():
+    rng = np.random.default_rng(0)
+    X = rng.normal(5.0, 3.0, size=(50, 2))
+    scaler = StandardScaler()
+    Z = scaler.fit_transform(X)
+    assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+    assert np.allclose(scaler.inverse_transform(Z), X)
+
+
+def test_standard_scaler_constant_column():
+    X = np.array([[1.0, 5.0], [1.0, 7.0]])
+    Z = StandardScaler().fit_transform(X)
+    assert np.allclose(Z[:, 0], 0.0)
+
+
+def test_minmax_scaler_range():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(30, 3))
+    Z = MinMaxScaler().fit_transform(X)
+    assert Z.min() >= 0.0 and Z.max() <= 1.0
+    assert np.allclose(Z.min(axis=0), 0.0)
+    assert np.allclose(Z.max(axis=0), 1.0)
+
+
+def test_scaler_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform([[1.0]])
+    with pytest.raises(RuntimeError):
+        MinMaxScaler().transform([[1.0]])
+
+
+# ------------------------------------------------------- model selection
+def test_train_test_split_sizes_and_disjoint():
+    X = np.arange(20).reshape(-1, 1)
+    y = np.arange(20)
+    X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, random_state=0)
+    assert len(X_te) == 5 and len(X_tr) == 15
+    assert set(y_tr.tolist()).isdisjoint(y_te.tolist())
+
+
+def test_train_test_split_validation():
+    with pytest.raises(ValueError):
+        train_test_split([1], [1])
+    with pytest.raises(ValueError):
+        train_test_split([[1], [2]], [1, 2], test_size=1.5)
+
+
+def test_kfold_covers_everything_once():
+    X = np.arange(10)
+    seen = []
+    for _, test_idx in KFold(5, random_state=0).split(X):
+        seen += test_idx.tolist()
+    assert sorted(seen) == list(range(10))
+
+
+def test_kfold_validation():
+    with pytest.raises(ValueError):
+        KFold(1)
+    with pytest.raises(ValueError):
+        list(KFold(5).split(np.arange(3)))
+
+
+def test_cross_val_score_linear():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(60, 2))
+    y = X @ np.array([1.0, -2.0]) + 0.01 * rng.normal(size=60)
+    scores = cross_val_score(LinearRegression, X, y, r2_score, n_splits=4, random_state=0)
+    assert scores.shape == (4,)
+    assert scores.min() > 0.99
+
+
+# ------------------------------------------------------------- statistics
+def test_skewness_and_kurtosis_of_normal_sample():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=5000)
+    assert abs(skewness(x)) < 0.1
+    assert abs(excess_kurtosis(x)) < 0.2
+
+
+def test_jarque_bera_accepts_normal_rejects_uniform():
+    rng = np.random.default_rng(4)
+    _, p_norm = jarque_bera(rng.normal(size=800))
+    _, p_unif = jarque_bera(rng.uniform(size=800))
+    assert p_norm > 0.01
+    assert p_unif < 0.01
+
+
+def test_fit_normal_fields():
+    rng = np.random.default_rng(5)
+    fit = fit_normal(rng.normal(10.0, 2.0, size=500))
+    assert fit.mean == pytest.approx(10.0, abs=0.3)
+    assert fit.std == pytest.approx(2.0, abs=0.3)
+    assert fit.looks_gaussian
+
+
+def test_chi_square_normality_behaviour():
+    rng = np.random.default_rng(6)
+    _, p_norm = chi_square_normality(rng.normal(size=500))
+    _, p_exp = chi_square_normality(rng.exponential(size=500))
+    assert p_norm > 0.01
+    assert p_exp < 0.01
+
+
+def test_stats_input_validation():
+    with pytest.raises(ValueError):
+        skewness([1.0, 2.0])
+    with pytest.raises(ValueError):
+        jarque_bera([1.0] * 5)
+    with pytest.raises(ValueError):
+        chi_square_normality([1.0] * 10, n_bins=8)
+
+
+# ---------------------------------------------------------------- kmeans
+def test_kmeans_recovers_separated_clusters():
+    rng = np.random.default_rng(7)
+    X = np.vstack([rng.normal(i * 20, 1.0, size=(30, 2)) for i in range(3)])
+    km = KMeans(n_clusters=3, random_state=0).fit(X)
+    # each true cluster should map to a single predicted label
+    labels = km.predict(X)
+    for i in range(3):
+        block = labels[i * 30 : (i + 1) * 30]
+        assert len(set(block.tolist())) == 1
+
+
+def test_kmeans_inertia_decreases_with_k():
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(100, 2))
+    inertias = [
+        KMeans(n_clusters=k, random_state=0).fit(X).inertia_ for k in (1, 2, 4, 8)
+    ]
+    assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+    with pytest.raises(RuntimeError):
+        KMeans().predict([[1.0, 2.0]])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    shift=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    scale=st.floats(min_value=0.1, max_value=50, allow_nan=False),
+)
+def test_property_r2_invariant_under_affine_shift(shift, scale):
+    """R^2 of a perfect-up-to-affine prediction is invariant when both
+    vectors undergo the same affine map."""
+    rng = np.random.default_rng(0)
+    y = rng.normal(size=30)
+    p = y + 0.1 * rng.normal(size=30)
+    base = r2_score(y, p)
+    mapped = r2_score(y * scale + shift, p * scale + shift)
+    assert mapped == pytest.approx(base, abs=1e-9)

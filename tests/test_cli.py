@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_cost_command(capsys):
+    assert main(["cost", "--year", "2013"]) == 0
+    out = capsys.readouterr().out
+    assert "SOC-CP design cost in 2013" in out
+    assert "$" in out
+
+
+def test_cost_with_freeze(capsys):
+    main(["cost", "--year", "2028", "--freeze", "2013"])
+    out = capsys.readouterr().out
+    assert "DT frozen at 2013" in out
+
+
+def test_flow_command(capsys, tmp_path):
+    verilog = tmp_path / "out.v"
+    def_file = tmp_path / "out.def"
+    code = main([
+        "flow", "--design", "PHY", "--target", "0.4", "--seed", "3",
+        "--write-verilog", str(verilog), "--write-def", str(def_file),
+    ])
+    out = capsys.readouterr().out
+    assert "design=phy" in out
+    assert "area=" in out
+    assert verilog.exists() and "module phy" in verilog.read_text()
+    assert def_file.exists() and "DIEAREA" in def_file.read_text()
+    assert code in (0, 1)
+
+
+def test_flow_verbose_prints_log(capsys):
+    main(["flow", "--design", "PHY", "--target", "0.4", "--verbose"])
+    out = capsys.readouterr().out
+    assert "SP&R flow log" in out
+
+
+def test_noise_command(capsys):
+    assert main(["noise", "--design", "PHY", "--targets", "0.4,0.6", "--seeds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "noise growth ratio" in out
+
+
+def test_doomed_command(capsys):
+    assert main(["doomed", "--train", "80", "--test", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "STOP(s): total error" in out
+
+
+def test_mab_command(capsys):
+    assert main([
+        "mab", "--design", "PHY", "--arms", "0.4,0.8", "--iterations", "3",
+        "--concurrent", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recommended target" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("flow", "noise", "doomed", "mab", "cost"):
+        assert command in text
