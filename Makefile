@@ -1,0 +1,22 @@
+# Developer entry points.  Everything runs against the in-tree sources
+# (PYTHONPATH=src), no install required.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test smoke bench
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# One small parallel campaign through the FlowExecutor, bounded by a
+# hard timeout: proves the process pool, the result cache and the CLI
+# stats plumbing work end to end without burning CI minutes.
+smoke:
+	PYTHONPATH=$(PYTHONPATH) timeout 180 $(PYTHON) -m repro.cli explore \
+		--design PHY --rounds 2 --concurrent 3 --workers 2 --seed 1
+	PYTHONPATH=$(PYTHONPATH) timeout 180 $(PYTHON) -m repro.cli mab \
+		--design PHY --arms 0.4,0.6 --iterations 2 --concurrent 2 --workers 2
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

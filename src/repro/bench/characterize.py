@@ -101,14 +101,29 @@ class CharacterizationReport:
         return float(np.mean([q <= 1.0 + 1e-9 for q in self.qualities]))
 
 
+def _grade_pair(sizer: Sizer, chart: Eyechart, library: StdCellLibrary,
+                seed: int) -> float:
+    """Grade one (sizer, chart) cell under its own child rng
+    (module-level so a process-pool executor can pickle it)."""
+    drives = sizer(chart, library, np.random.default_rng(seed))
+    return chart.quality_of(drives, library)
+
+
 def characterize(
     sizers: Optional[Dict[str, Sizer]] = None,
     n_charts: int = 20,
     n_stages: int = 8,
     seed: int = 0,
     library: Optional[StdCellLibrary] = None,
+    executor=None,
 ) -> List[CharacterizationReport]:
-    """Grade sizers over a seeded suite of eyecharts."""
+    """Grade sizers over a seeded suite of eyecharts.
+
+    With an ``executor`` (:class:`~repro.core.parallel.FlowExecutor`),
+    the (sizer × chart) grading grid fans across its workers; each cell
+    gets a pre-drawn child seed, so results are identical at any worker
+    count (sizers must then be picklable, i.e. module-level functions).
+    """
     if n_charts < 1:
         raise ValueError("need at least one chart")
     sizers = sizers or BUILTIN_SIZERS
@@ -119,6 +134,22 @@ def characterize(
                       library=library, output_load=float(rng.uniform(20.0, 60.0)))
         for _ in range(n_charts)
     ]
+    if executor is not None:
+        names = list(sizers)
+        tasks = [
+            (sizers[name], chart, library, int(rng.integers(0, 2**31 - 1)))
+            for name in names
+            for chart in charts
+        ]
+        graded = executor.map(_grade_pair, tasks)
+        reports = []
+        for row, name in enumerate(names):
+            qualities = graded[row * len(charts):(row + 1) * len(charts)]
+            bad = next((q for q in qualities if not isinstance(q, float)), None)
+            if bad is not None:
+                raise RuntimeError(f"grading failed for sizer {name!r}: {bad}")
+            reports.append(CharacterizationReport(sizer=name, qualities=qualities))
+        return reports
     reports = []
     for name, sizer in sizers.items():
         qualities = []

@@ -8,7 +8,12 @@ Python:
 - ``repro noise`` — the Fig 3 noise sweep;
 - ``repro doomed`` — train and evaluate the doomed-run strategy card;
 - ``repro mab`` — the Fig 7 bandit tuning loop;
+- ``repro explore`` — GWTW trajectory exploration (Fig 5/6);
 - ``repro cost`` — ITRS design-cost projections.
+
+``mab`` and ``explore`` accept ``--workers N`` (parallel flow
+execution) and ``--cache-dir`` (persistent result cache); both print
+the executor's stats line (jobs, cache hits, retries, wall time).
 """
 
 from __future__ import annotations
@@ -93,6 +98,13 @@ def _cmd_doomed(args) -> int:
     return 0
 
 
+def _make_executor(args):
+    from repro.core.parallel import FlowExecutor
+
+    return FlowExecutor(n_workers=args.workers, cache=True,
+                        cache_dir=args.cache_dir)
+
+
 def _cmd_mab(args) -> int:
     from repro.bench.generators import design_profile
     from repro.core.bandit import (
@@ -106,11 +118,38 @@ def _cmd_mab(args) -> int:
     env = FlowArmEnvironment(spec, frequencies, seed=args.seed,
                              max_area=args.max_area, max_power=args.max_power)
     policy = ThompsonSampling(env.n_arms, seed=args.seed + 1)
-    result = BatchBanditScheduler(args.iterations, args.concurrent).run(policy, env)
-    print(f"{result.n_successes}/{len(result.records)} successful runs")
-    best = int(policy.posterior_mean().argmax())
-    print(f"recommended target: {frequencies[best]:.2f} GHz")
+    with _make_executor(args) as executor:
+        result = BatchBanditScheduler(args.iterations, args.concurrent,
+                                      executor=executor).run(policy, env)
+        print(f"{result.n_successes}/{len(result.records)} successful runs")
+        best = int(policy.posterior_mean().argmax())
+        print(f"recommended target: {frequencies[best]:.2f} GHz")
+        print(f"executor: {executor.stats.summary()}")
     return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.bench.generators import design_profile
+    from repro.core.orchestration import TrajectoryExplorer
+
+    spec = design_profile(args.design)
+    with _make_executor(args) as executor:
+        explorer = TrajectoryExplorer(
+            n_concurrent=args.concurrent, n_rounds=args.rounds,
+            executor=executor,
+        )
+        result = explorer.explore(spec, seed=args.seed)
+        print(f"{result.n_runs} runs over {args.rounds} rounds "
+              f"({result.n_pruned} pruned, {result.n_failed} failed), "
+              f"best score {result.best_score:.4f}")
+        if result.best_result is not None:
+            best = result.best_result
+            print(f"best: target={best.options.target_clock_ghz:.2f}GHz "
+                  f"util={best.options.utilization:.2f} seed={best.seed} "
+                  f"area={best.area:.1f}um2 wns={best.wns:.1f}ps "
+                  f"{'SUCCESS' if best.success else 'FAILED'}")
+        print(f"executor: {executor.stats.summary()}")
+    return 0 if result.best_result is not None else 1
 
 
 def _cmd_cost(args) -> int:
@@ -162,7 +201,24 @@ def build_parser() -> argparse.ArgumentParser:
     mab.add_argument("--max-area", type=float, default=None)
     mab.add_argument("--max-power", type=float, default=None)
     mab.add_argument("--seed", type=int, default=0)
+    mab.add_argument("--workers", type=int, default=1,
+                     help="parallel flow workers (1 = serial)")
+    mab.add_argument("--cache-dir", default=None,
+                     help="directory for the on-disk result-cache tier")
     mab.set_defaults(func=_cmd_mab)
+
+    explore = sub.add_parser(
+        "explore", help="GWTW trajectory exploration over the flow-option tree"
+    )
+    explore.add_argument("--design", default="pulpino")
+    explore.add_argument("--rounds", type=int, default=4)
+    explore.add_argument("--concurrent", type=int, default=5)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--workers", type=int, default=1,
+                         help="parallel flow workers (1 = serial)")
+    explore.add_argument("--cache-dir", default=None,
+                         help="directory for the on-disk result-cache tier")
+    explore.set_defaults(func=_cmd_explore)
 
     cost = sub.add_parser("cost", help="ITRS design-cost projection")
     cost.add_argument("--year", type=int, default=2028)

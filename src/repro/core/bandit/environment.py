@@ -26,6 +26,16 @@ class BanditEnvironment:
     def pull(self, arm: int):
         raise NotImplementedError
 
+    def pull_batch(self, arms: Sequence[int], executor=None):
+        """One batched iteration: outcomes for ``arms``, in order.
+
+        The default loops :meth:`pull`; environments whose pulls are
+        real flow runs override this to fan the batch across a
+        :class:`~repro.core.parallel.FlowExecutor` (the paper's "5
+        concurrent samples per iteration" as actual concurrency).
+        """
+        return [self.pull(arm) for arm in arms]
+
     def describe_arm(self, arm: int) -> str:
         return f"arm{arm}"
 
@@ -73,11 +83,17 @@ class SyntheticBanditEnvironment(BanditEnvironment):
 
 @dataclass
 class FlowPullInfo:
-    """Metadata for one flow-run pull."""
+    """Metadata for one flow-run pull.
+
+    ``result`` is None (and ``error`` set) when the run itself failed
+    to execute — a crashed/timed-out worker, recorded in the campaign
+    trace as an unsuccessful pull instead of aborting the schedule.
+    """
 
     target_ghz: float
     success: bool
-    result: FlowResult
+    result: Optional[FlowResult]
+    error: Optional[str] = None
 
 
 class FlowArmEnvironment(BanditEnvironment):
@@ -121,6 +137,39 @@ class FlowArmEnvironment(BanditEnvironment):
     def pull(self, arm: int):
         options = self.base_options.with_(target_clock_ghz=self.frequencies[arm])
         result = self.flow.run(self.spec, options, seed=int(self.rng.integers(0, 2**31 - 1)))
+        return self._score_pull(arm, result)
+
+    def pull_batch(self, arms: Sequence[int], executor=None):
+        """Run one license-batch of flow pulls, optionally in parallel.
+
+        Seeds are drawn from the environment rng in slot order before
+        any run launches, so outcomes are bit-identical to serial
+        :meth:`pull` calls regardless of worker count.
+        """
+        if executor is None:
+            return [self.pull(arm) for arm in arms]
+        from repro.core.parallel import FlowExecutionError, FlowJob
+
+        jobs = [
+            FlowJob(
+                self.spec,
+                self.base_options.with_(target_clock_ghz=self.frequencies[arm]),
+                int(self.rng.integers(0, 2**31 - 1)),
+            )
+            for arm in arms
+        ]
+        outcomes = []
+        for arm, run in zip(arms, executor.run_jobs(jobs)):
+            if isinstance(run, FlowExecutionError):
+                info = FlowPullInfo(target_ghz=self.frequencies[arm],
+                                    success=False, result=None, error=str(run))
+                self.history.append(info)
+                outcomes.append((0.0, info))
+            else:
+                outcomes.append(self._score_pull(arm, run))
+        return outcomes
+
+    def _score_pull(self, arm: int, result: FlowResult):
         success = result.meets(self.max_area, self.max_power)
         reward = self.frequencies[arm] / self._f_max if success else 0.0
         info = FlowPullInfo(

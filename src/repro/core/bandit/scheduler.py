@@ -75,13 +75,22 @@ class ScheduleResult:
 
 
 class BatchBanditScheduler:
-    """Run a policy against an environment under a license budget."""
+    """Run a policy against an environment under a license budget.
 
-    def __init__(self, n_iterations: int = 40, n_concurrent: int = 5):
+    With an :class:`~repro.core.parallel.FlowExecutor`, each
+    iteration's ``n_concurrent`` pulls run as one parallel batch
+    (environments that wrap real flow runs fan them across worker
+    processes); the policy still updates with all rewards before the
+    next iteration, preserving batched-bandit semantics.
+    """
+
+    def __init__(self, n_iterations: int = 40, n_concurrent: int = 5,
+                 executor=None):
         if n_iterations < 1 or n_concurrent < 1:
             raise ValueError("iterations and concurrency must be >= 1")
         self.n_iterations = n_iterations
         self.n_concurrent = n_concurrent
+        self.executor = executor
 
     def run(self, policy: BanditPolicy, env: BanditEnvironment) -> ScheduleResult:
         if policy.n_arms != env.n_arms:
@@ -93,7 +102,7 @@ class BatchBanditScheduler:
         )
         for it in range(self.n_iterations):
             arms = [policy.select() for _ in range(self.n_concurrent)]
-            outcomes = [env.pull(arm) for arm in arms]
+            outcomes = env.pull_batch(arms, executor=self.executor)
             for slot, (arm, (reward, info)) in enumerate(zip(arms, outcomes)):
                 policy.update(arm, reward)
                 success = bool(getattr(info, "success", None)

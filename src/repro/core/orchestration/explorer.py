@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.orchestration.tree import FlowOptionTree, default_option_tree
+from repro.core.parallel import FlowExecutionError, FlowExecutor, FlowJob
 from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
 from repro.eda.synthesis import DesignSpec
 
@@ -33,6 +34,8 @@ class ExplorationResult:
     n_pruned: int
     total_runtime_proxy: float
     score_trace: List[float] = field(default_factory=list)
+    n_failed: int = 0
+    failures: List[FlowExecutionError] = field(default_factory=list)
 
 
 def default_score(result: FlowResult) -> float:
@@ -49,7 +52,15 @@ def default_score(result: FlowResult) -> float:
 
 
 class TrajectoryExplorer:
-    """GWTW over flow trajectories under a license budget."""
+    """GWTW over flow trajectories under a license budget.
+
+    With an :class:`~repro.core.parallel.FlowExecutor`, each round's
+    ``n_concurrent`` runs execute as one submitted batch — real
+    parallelism across worker processes, with caching deduplicating
+    revisited trajectory points.  Without one, a private serial
+    executor is used; results are bit-identical either way because
+    run seeds are pre-drawn in slot order before any run launches.
+    """
 
     def __init__(
         self,
@@ -59,6 +70,7 @@ class TrajectoryExplorer:
         survivor_fraction: float = 0.4,
         score: Callable[[FlowResult], float] = default_score,
         stop_callback=None,
+        executor: Optional[FlowExecutor] = None,
     ):
         if n_concurrent < 2:
             raise ValueError("need at least 2 concurrent runs to clone winners")
@@ -72,21 +84,33 @@ class TrajectoryExplorer:
         self.survivor_fraction = survivor_fraction
         self.score = score
         self.stop_callback = stop_callback
+        self.executor = executor
 
     def explore(self, spec: DesignSpec, seed: int = 0) -> ExplorationResult:
         rng = np.random.default_rng(seed)
-        flow = SPRFlow(stop_callback=self.stop_callback)
+        executor = self.executor or FlowExecutor(n_workers=1)
         trajectories = [self.tree.sample(rng) for _ in range(self.n_concurrent)]
         result = ExplorationResult(
             best_result=None, best_score=-np.inf, n_runs=0, n_pruned=0,
             total_runtime_proxy=0.0,
         )
         for _ in range(self.n_rounds):
-            scored: List[Tuple[float, Dict, FlowResult]] = []
-            for trajectory in trajectories:
-                options = self.tree.to_flow_options(trajectory)
-                run = flow.run(spec, options, seed=int(rng.integers(0, 2**31 - 1)))
+            # seeds drawn in slot order *before* launching keeps the rng
+            # stream identical to the historical serial loop
+            seeds = [int(rng.integers(0, 2**31 - 1)) for _ in trajectories]
+            jobs = [
+                FlowJob(spec, self.tree.to_flow_options(trajectory), job_seed)
+                for trajectory, job_seed in zip(trajectories, seeds)
+            ]
+            outcomes = executor.run_jobs(jobs, stop_callback=self.stop_callback)
+            scored: List[Tuple[float, Dict, Optional[FlowResult]]] = []
+            for trajectory, run in zip(trajectories, outcomes):
                 result.n_runs += 1
+                if isinstance(run, FlowExecutionError):
+                    result.n_failed += 1
+                    result.failures.append(run)
+                    scored.append((-np.inf, trajectory, None))
+                    continue
                 result.total_runtime_proxy += run.runtime_proxy
                 if any(log.step == "droute" and log.metrics.get("success", 1) == 0
                        and run.final_drvs > 0 for log in run.logs) and _was_pruned(run):

@@ -1,0 +1,36 @@
+"""Parallel flow execution with deduplicating result caching.
+
+The campaign layers (trajectory exploration, batched bandits,
+multistart, characterization sweeps) all submit through one
+:class:`FlowExecutor`, so the paper's "N concurrent tool licenses"
+is real process-level parallelism instead of a loop variable.
+See ``docs/parallel.md``.
+"""
+
+from repro.core.parallel.cache import (
+    ResultCache,
+    cache_key,
+    design_fingerprint,
+    flow_result_from_dict,
+    flow_result_to_dict,
+)
+from repro.core.parallel.executor import (
+    ExecutorStats,
+    FlowExecutionError,
+    FlowExecutor,
+    FlowJob,
+    run_flow_job,
+)
+
+__all__ = [
+    "ExecutorStats",
+    "FlowExecutionError",
+    "FlowExecutor",
+    "FlowJob",
+    "ResultCache",
+    "cache_key",
+    "design_fingerprint",
+    "flow_result_from_dict",
+    "flow_result_to_dict",
+    "run_flow_job",
+]

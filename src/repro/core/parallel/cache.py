@@ -1,0 +1,161 @@
+"""Content-keyed result caching for flow runs.
+
+A flow run is a pure function of ``(design, options, seed)`` — the
+substrate injects no hidden state — so its :class:`FlowResult` can be
+cached under a content key and replayed for free.  The cache has two
+tiers:
+
+- an in-memory LRU tier (:class:`ResultCache` with ``max_entries``),
+  which makes repeated campaign points free within one process, and
+- an optional on-disk JSON tier (``cache_dir``), which survives across
+  processes and lets a re-run campaign report ~100% hits.
+
+Keys are SHA-256 hex digests over (design fingerprint, canonical
+options dict, seed).  Any change to the design content, any option
+knob, or the seed produces a different key; renaming a design *does*
+change its key (the design name is part of the reported result, so two
+names must not share one cached ``FlowResult``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import asdict
+from typing import Dict, Optional, Union
+
+from repro.eda.flow import FlowOptions, FlowResult, StepLog
+from repro.eda.netlist import Netlist
+from repro.eda.synthesis import DesignSpec
+
+
+def design_fingerprint(design: Union[DesignSpec, Netlist]) -> str:
+    """A stable content hash of the job's design input.
+
+    ``DesignSpec`` hashes its full field dict (a spec plus a seed fully
+    determines the synthesized netlist).  ``Netlist`` hashes its
+    structural Verilog serialization, so two netlists with identical
+    structure share cache entries regardless of how they were built.
+    """
+    if isinstance(design, DesignSpec):
+        payload = json.dumps(asdict(design), sort_keys=True, default=float)
+        return "spec:" + hashlib.sha256(payload.encode()).hexdigest()
+    if isinstance(design, Netlist):
+        from repro.eda.io import write_verilog
+
+        return "netlist:" + hashlib.sha256(write_verilog(design).encode()).hexdigest()
+    raise TypeError(f"cannot fingerprint design of type {type(design).__name__}")
+
+
+def cache_key(design: Union[DesignSpec, Netlist], options: FlowOptions, seed: int) -> str:
+    """The content key one flow job caches under."""
+    payload = json.dumps(
+        {
+            "design": design_fingerprint(design),
+            "options": options.to_dict(),
+            "seed": int(seed),
+        },
+        sort_keys=True,
+        default=float,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------- (de)serialization
+
+
+def flow_result_to_dict(result: FlowResult) -> Dict:
+    """JSON-safe dict of a :class:`FlowResult` (for the disk tier)."""
+    out = asdict(result)
+    out["options"] = result.options.to_dict()
+    # asdict leaves numpy scalars in metric dicts; normalize to floats
+    for log in out["logs"]:
+        log["metrics"] = {k: float(v) for k, v in log["metrics"].items()}
+        log["series"] = {k: [float(v) for v in vs] for k, vs in log["series"].items()}
+        log["runtime_proxy"] = float(log["runtime_proxy"])
+    return out
+
+
+def flow_result_from_dict(data: Dict) -> FlowResult:
+    data = dict(data)
+    data["options"] = FlowOptions(**data["options"])
+    data["logs"] = [StepLog(**log) for log in data["logs"]]
+    return FlowResult(**data)
+
+
+# ----------------------------------------------------------------------- the cache
+
+
+class ResultCache:
+    """LRU in-memory tier plus optional on-disk JSON tier.
+
+    ``get`` promotes disk hits into memory; ``put`` writes both tiers.
+    Disk writes are atomic (write-to-temp + rename) so a killed worker
+    never leaves a truncated JSON behind.
+    """
+
+    def __init__(self, max_entries: int = 1024, cache_dir: Optional[str] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.cache_dir = cache_dir
+        self._memory: "OrderedDict[str, FlowResult]" = OrderedDict()
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def get(self, key: str) -> Optional[FlowResult]:
+        """The cached result, or None.  Sets ``self.last_tier`` to
+        ``"memory"``/``"disk"`` on a hit (for executor stats)."""
+        self.last_tier = None
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.last_tier = "memory"
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path) as fh:
+                        result = flow_result_from_dict(json.load(fh))
+                except (ValueError, KeyError, TypeError):
+                    return None  # corrupt entry: treat as a miss
+                self._insert_memory(key, result)
+                self.last_tier = "disk"
+                return result
+        return None
+
+    def put(self, key: str, result: FlowResult) -> None:
+        self._insert_memory(key, result)
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(flow_result_to_dict(result), fh)
+                os.replace(tmp, path)
+            except OSError:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+
+    def _insert_memory(self, key: str, result: FlowResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier; with ``disk=True`` also the disk tier."""
+        self._memory.clear()
+        if disk and self.cache_dir is not None:
+            for name in os.listdir(self.cache_dir):
+                if name.endswith(".json"):
+                    os.unlink(os.path.join(self.cache_dir, name))

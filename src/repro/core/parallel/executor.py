@@ -1,0 +1,376 @@
+"""The shared parallel flow-execution engine.
+
+The paper's experiments all assume *N concurrent tool licenses*: GWTW
+trajectory rounds, batched-bandit iterations with 5 samples each,
+multistart batches, characterization sweeps.  :class:`FlowExecutor`
+makes that concurrency real: campaign layers submit
+``(design, options, seed)`` jobs and get :class:`FlowResult`\\ s back
+**in deterministic submission order**, whether the jobs ran serially
+in-process (``n_workers=1``), across a ``ProcessPoolExecutor``
+(``n_workers>1``), or straight out of the result cache.
+
+Failure semantics: a job that times out or whose worker crashes (after
+``max_retries`` resubmissions) yields a :class:`FlowExecutionError`
+*in its result slot* instead of aborting the batch — campaign layers
+record the failure in their trace and keep going, exactly like a
+license-server hiccup in a real tool farm.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.parallel.cache import ResultCache, cache_key
+from repro.eda.flow import FlowOptions, FlowResult, SPRFlow, _default_library
+from repro.eda.netlist import Netlist
+from repro.eda.synthesis import DesignSpec
+
+Design = Union[DesignSpec, Netlist]
+
+
+@dataclass(frozen=True)
+class FlowJob:
+    """One unit of campaign work: a flow run at a specific point."""
+
+    design: Design
+    options: FlowOptions
+    seed: int
+
+
+class FlowExecutionError(RuntimeError):
+    """A job that could not produce a :class:`FlowResult`.
+
+    Returned *in the job's result slot* (never raised across a batch),
+    so the campaign trace records which point failed, with what, and
+    after how many attempts.
+    """
+
+    def __init__(self, message: str, job_index: int = -1, seed: int = -1,
+                 attempts: int = 1, kind: str = "crash"):
+        super().__init__(message)
+        self.job_index = job_index
+        self.seed = seed
+        self.attempts = attempts
+        self.kind = kind  # "crash" | "timeout"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlowExecutionError(kind={self.kind!r}, job={self.job_index}, "
+                f"seed={self.seed}, attempts={self.attempts}: {self.args[0]!r})")
+
+
+@dataclass
+class ExecutorStats:
+    """Executor-level accounting, surfaced through the CLI.
+
+    ``wall_time_s`` is real elapsed time inside ``run_jobs``/``map``;
+    ``runtime_proxy_total`` is the summed simulated tool cost of the
+    results delivered (including cached ones) — their ratio is the
+    work-delivered-per-second the parallel+cache machinery achieves.
+    """
+
+    jobs_submitted: int = 0
+    jobs_run: int = 0
+    cache_hits_memory: int = 0
+    cache_hits_disk: int = 0
+    deduped: int = 0
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    wall_time_s: float = 0.0
+    runtime_proxy_total: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache_hits_memory + self.cache_hits_disk
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.jobs_submitted == 0:
+            return 0.0
+        return (self.cache_hits + self.deduped) / self.jobs_submitted
+
+    def summary(self) -> str:
+        return (
+            f"jobs={self.jobs_submitted} run={self.jobs_run} "
+            f"cache_hits={self.cache_hits} (mem={self.cache_hits_memory} "
+            f"disk={self.cache_hits_disk} dedup={self.deduped}, "
+            f"rate={self.cache_hit_rate:.0%}) retries={self.retries} "
+            f"failures={self.failures} timeouts={self.timeouts} "
+            f"wall={self.wall_time_s:.2f}s "
+            f"work_delivered={self.runtime_proxy_total:.0f} units"
+        )
+
+
+def _worker_init() -> None:
+    """Per-worker-process initializer: build the shared default library
+    eagerly so no worker races the lazy global on first use."""
+    _default_library()
+
+
+def run_flow_job(design: Design, options: FlowOptions, seed: int,
+                 stop_callback=None) -> FlowResult:
+    """Execute one flow job (module-level, hence picklable).
+
+    ``DesignSpec`` inputs go through the full flow (synthesis
+    included); ``Netlist`` inputs go straight to physical
+    implementation — the partition-driven entry point.
+    """
+    flow = SPRFlow(stop_callback=stop_callback)
+    if isinstance(design, Netlist):
+        return flow.implement(design, options, seed=seed)
+    return flow.run(design, options, seed=seed)
+
+
+class FlowExecutor:
+    """Fan flow jobs across workers, with deduplicating result caching.
+
+    Parameters
+    ----------
+    n_workers:
+        1 = serial in-process execution (no pickling constraints, used
+        by tests and as the deterministic reference); >1 = a
+        ``ProcessPoolExecutor`` with that many workers.
+    cache:
+        a :class:`ResultCache`, or True for a default in-memory LRU, or
+        None/False to disable caching entirely.
+    cache_dir:
+        convenience: with ``cache=True``, adds the on-disk JSON tier.
+    timeout_s:
+        per-job wall-clock timeout (process mode only; a serial job
+        cannot be preempted).  A timed-out job is recorded as a
+        ``FlowExecutionError(kind="timeout")`` and not retried.
+    max_retries:
+        resubmissions allowed per job after a worker crash.
+    flow_fn:
+        the job function, ``(design, options, seed, stop_callback) ->
+        FlowResult``.  Defaults to :func:`run_flow_job`; tests inject
+        crashing/slow stand-ins here.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        cache: Union[ResultCache, bool, None] = True,
+        cache_dir: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        max_retries: int = 1,
+        flow_fn: Optional[Callable[..., FlowResult]] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.n_workers = n_workers
+        if cache is True:
+            cache = ResultCache(cache_dir=cache_dir)
+        elif cache is False:
+            cache = None
+        elif cache is not None and cache_dir is not None:
+            raise ValueError("pass cache_dir only with cache=True")
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.flow_fn = flow_fn or run_flow_job
+        self.stats = ExecutorStats()
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.n_workers, initializer=_worker_init
+            )
+        return self._pool
+
+    def _restart_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "FlowExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ flow jobs
+    def run_jobs(
+        self,
+        jobs: Sequence[FlowJob],
+        stop_callback=None,
+    ) -> List[Union[FlowResult, FlowExecutionError]]:
+        """Run a batch; results come back in submission order.
+
+        Identical jobs within the batch execute once (dedup); jobs
+        whose key is cached execute zero times.  ``stop_callback``
+        (the doomed-run pruning hook) applies to every job in the
+        batch; in process mode it must be picklable.
+        """
+        t0 = time.perf_counter()
+        self.stats.jobs_submitted += len(jobs)
+        results: List[Optional[Union[FlowResult, FlowExecutionError]]] = [None] * len(jobs)
+
+        # cache lookups + within-batch dedup
+        to_run: List[int] = []        # job indices that must execute
+        followers: dict = {}          # leader index -> indices sharing its key
+        leader_of_key: dict = {}
+        keys: List[Optional[str]] = [None] * len(jobs)
+        for i, job in enumerate(jobs):
+            if self.cache is not None:
+                key = cache_key(job.design, job.options, job.seed)
+                keys[i] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    if self.cache.last_tier == "disk":
+                        self.stats.cache_hits_disk += 1
+                    else:
+                        self.stats.cache_hits_memory += 1
+                    results[i] = hit
+                    continue
+                if key in leader_of_key:
+                    followers.setdefault(leader_of_key[key], []).append(i)
+                    self.stats.deduped += 1
+                    continue
+                leader_of_key[key] = i
+            to_run.append(i)
+
+        executed = self._execute(
+            [(jobs[i].design, jobs[i].options, jobs[i].seed, stop_callback)
+             for i in to_run],
+            indices=to_run,
+        )
+        for i, outcome in zip(to_run, executed):
+            results[i] = outcome
+            if isinstance(outcome, FlowResult) and self.cache is not None:
+                self.cache.put(keys[i], outcome)
+            for j in followers.get(i, ()):
+                results[j] = outcome
+
+        for outcome in results:
+            if isinstance(outcome, FlowResult):
+                self.stats.runtime_proxy_total += outcome.runtime_proxy
+        self.stats.wall_time_s += time.perf_counter() - t0
+        return results  # type: ignore[return-value]
+
+    def run_one(
+        self, design: Design, options: FlowOptions, seed: int, stop_callback=None
+    ) -> Union[FlowResult, FlowExecutionError]:
+        """Convenience wrapper: one job, one outcome."""
+        return self.run_jobs([FlowJob(design, options, seed)], stop_callback)[0]
+
+    # --------------------------------------------------------- generic jobs
+    def map(self, fn: Callable, args_list: Sequence[Tuple]) -> List[object]:
+        """Run arbitrary picklable ``fn(*args)`` tasks with the same
+        ordering/timeout/retry machinery (no caching — generic tasks
+        have no content key).  Campaign layers whose unit of work is
+        not a flow run (multistart local searches, sizer gradings) go
+        through here."""
+        t0 = time.perf_counter()
+        self.stats.jobs_submitted += len(args_list)
+        outcomes = self._execute(list(args_list), fn=fn,
+                                 indices=list(range(len(args_list))))
+        self.stats.wall_time_s += time.perf_counter() - t0
+        return outcomes
+
+    # ------------------------------------------------------------ internals
+    def _execute(self, tasks: List[Tuple], indices: List[int],
+                 fn: Optional[Callable] = None) -> List[object]:
+        fn = fn or self.flow_fn
+        if not tasks:
+            return []
+        if self.n_workers == 1:
+            return [self._run_serial(fn, task, idx)
+                    for task, idx in zip(tasks, indices)]
+        return self._run_pool(fn, tasks, indices)
+
+    def _run_serial(self, fn, task, index):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = fn(*task)
+                self.stats.jobs_run += 1
+                return result
+            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                if attempts <= self.max_retries:
+                    self.stats.retries += 1
+                    continue
+                self.stats.failures += 1
+                return FlowExecutionError(
+                    f"job failed after {attempts} attempt(s): {exc}",
+                    job_index=index, seed=self._seed_of(task),
+                    attempts=attempts, kind="crash",
+                )
+
+    def _run_pool(self, fn, tasks, indices):
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, *task) for task in tasks]
+        outcomes: List[object] = []
+        attempts = [1] * len(tasks)
+        for pos, future in enumerate(futures):
+            while True:
+                try:
+                    result = future.result(timeout=self.timeout_s)
+                    self.stats.jobs_run += 1
+                    outcomes.append(result)
+                    break
+                except concurrent.futures.TimeoutError:
+                    future.cancel()
+                    self.stats.timeouts += 1
+                    self.stats.failures += 1
+                    outcomes.append(FlowExecutionError(
+                        f"job exceeded timeout of {self.timeout_s}s",
+                        job_index=indices[pos], seed=self._seed_of(tasks[pos]),
+                        attempts=attempts[pos], kind="timeout",
+                    ))
+                    break
+                except concurrent.futures.process.BrokenProcessPool:
+                    self._restart_pool()
+                    pool = self._ensure_pool()
+                    # resubmit every not-yet-finished job on the new pool
+                    for later in range(pos, len(tasks)):
+                        if not futures[later].done() or later == pos:
+                            futures[later] = pool.submit(fn, *tasks[later])
+                    if attempts[pos] <= self.max_retries:
+                        attempts[pos] += 1
+                        self.stats.retries += 1
+                        future = futures[pos]
+                        continue
+                    self.stats.failures += 1
+                    outcomes.append(FlowExecutionError(
+                        f"worker pool broke {attempts[pos]} time(s) on this job",
+                        job_index=indices[pos], seed=self._seed_of(tasks[pos]),
+                        attempts=attempts[pos], kind="crash",
+                    ))
+                    break
+                except Exception as exc:  # noqa: BLE001 - worker raised
+                    if attempts[pos] <= self.max_retries:
+                        attempts[pos] += 1
+                        self.stats.retries += 1
+                        future = pool.submit(fn, *tasks[pos])
+                        continue
+                    self.stats.failures += 1
+                    outcomes.append(FlowExecutionError(
+                        f"job failed after {attempts[pos]} attempt(s): {exc}",
+                        job_index=indices[pos], seed=self._seed_of(tasks[pos]),
+                        attempts=attempts[pos], kind="crash",
+                    ))
+                    break
+        return outcomes
+
+    @staticmethod
+    def _seed_of(task: Tuple) -> int:
+        for item in task:
+            if isinstance(item, (int,)) and not isinstance(item, bool):
+                return item
+        return -1

@@ -19,6 +19,12 @@ import numpy as np
 from repro.core.search.landscape import BisectionProblem
 
 
+def _local_search_job(problem: BisectionProblem, start: np.ndarray, seed: int) -> np.ndarray:
+    """One local search under its own child rng (module-level so a
+    process-pool executor can pickle it)."""
+    return problem.local_search(start, np.random.default_rng(seed))
+
+
 @dataclass
 class MultistartResult:
     """Outcome of an (adaptive) multistart run."""
@@ -50,8 +56,17 @@ class AdaptiveMultistart:
         self.elite_size = elite_size
 
     def run(
-        self, problem: BisectionProblem, seed: Optional[int] = None
+        self,
+        problem: BisectionProblem,
+        seed: Optional[int] = None,
+        executor=None,
     ) -> MultistartResult:
+        """With an ``executor`` (:class:`~repro.core.parallel.FlowExecutor`),
+        each round's local-search batch fans across its workers; starts
+        and per-search child seeds are drawn serially first, so results
+        are identical at any worker count (but differ from the
+        executor-less path, which threads one rng through every
+        search)."""
         rng = np.random.default_rng(seed)
         pool: List[np.ndarray] = []
         costs: List[float] = []
@@ -60,18 +75,34 @@ class AdaptiveMultistart:
             pool.append(minimum)
             costs.append(problem.cost(minimum))
 
-        for _ in range(self.n_initial):
-            add(problem.local_search(problem.random_solution(rng), rng))
+        def run_batch(starts: List[np.ndarray]) -> None:
+            tasks = [(problem, start, int(rng.integers(0, 2**31 - 1)))
+                     for start in starts]
+            for minimum in executor.map(_local_search_job, tasks):
+                if isinstance(minimum, np.ndarray):
+                    add(minimum)
+
+        if executor is None:
+            for _ in range(self.n_initial):
+                add(problem.local_search(problem.random_solution(rng), rng))
+        else:
+            run_batch([problem.random_solution(rng) for _ in range(self.n_initial)])
         n_searches = self.n_initial
 
         for _ in range(self.n_adaptive_rounds):
             elite_idx = np.argsort(costs)[: self.elite_size]
             elite = [pool[i] for i in elite_idx]
-            for _ in range(self.starts_per_round):
-                start = self._consensus_start(problem, elite, rng)
-                add(problem.local_search(start, rng))
-                n_searches += 1
+            if executor is None:
+                for _ in range(self.starts_per_round):
+                    add(problem.local_search(
+                        self._consensus_start(problem, elite, rng), rng))
+            else:
+                run_batch([self._consensus_start(problem, elite, rng)
+                           for _ in range(self.starts_per_round)])
+            n_searches += self.starts_per_round
 
+        if not costs:
+            raise RuntimeError("every local search failed to execute")
         best_idx = int(np.argmin(costs))
         return MultistartResult(
             best_cost=costs[best_idx],
@@ -125,12 +156,28 @@ def random_multistart(
     problem: BisectionProblem,
     n_starts: int,
     seed: Optional[int] = None,
+    executor=None,
 ) -> MultistartResult:
-    """Equal-budget baseline: every start is random."""
+    """Equal-budget baseline: every start is random.
+
+    With an ``executor``, the whole batch of local searches fans across
+    its workers under pre-drawn child seeds (deterministic at any
+    worker count)."""
     if n_starts < 1:
         raise ValueError("need at least 1 start")
     rng = np.random.default_rng(seed)
-    pool = [problem.local_search(problem.random_solution(rng), rng) for _ in range(n_starts)]
+    if executor is None:
+        pool = [problem.local_search(problem.random_solution(rng), rng)
+                for _ in range(n_starts)]
+    else:
+        tasks = []
+        for _ in range(n_starts):
+            start = problem.random_solution(rng)
+            tasks.append((problem, start, int(rng.integers(0, 2**31 - 1))))
+        pool = [m for m in executor.map(_local_search_job, tasks)
+                if isinstance(m, np.ndarray)]
+        if not pool:
+            raise RuntimeError("every local search failed to execute")
     costs = [problem.cost(m) for m in pool]
     best_idx = int(np.argmin(costs))
     return MultistartResult(

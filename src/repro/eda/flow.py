@@ -16,6 +16,7 @@ aggressiveness without any explicit noise injection.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -56,12 +57,34 @@ class FlowOptions:
     power_recovery: bool = True
 
     def __post_init__(self):
-        if self.target_clock_ghz <= 0:
-            raise ValueError("target_clock_ghz must be positive")
+        if not self.target_clock_ghz > 0 or not np.isfinite(self.target_clock_ghz):
+            raise ValueError("target_clock_ghz must be positive and finite")
         if not 0.0 <= self.synth_effort <= 1.0:
             raise ValueError("synth_effort must be in [0, 1]")
         if not 0.05 <= self.utilization <= 0.98:
             raise ValueError("utilization must be in [0.05, 0.98]")
+        if not 0.1 <= self.aspect_ratio <= 10.0:
+            raise ValueError("aspect_ratio must be in [0.1, 10]")
+        if self.placer_moves_per_cell < 1:
+            raise ValueError("placer_moves_per_cell must be >= 1")
+        if not 0.0 < self.spread_strength <= 10.0:
+            raise ValueError("spread_strength must be in (0, 10]")
+        if not 0.0 <= self.cts_effort <= 1.0:
+            raise ValueError("cts_effort must be in [0, 1]")
+        if not self.router_tracks_per_um > 0:
+            raise ValueError("router_tracks_per_um must be positive")
+        if not 0.0 <= self.router_effort <= 1.0:
+            raise ValueError("router_effort must be in [0, 1]")
+        if self.router_max_iterations < 1:
+            raise ValueError("router_max_iterations must be >= 1")
+        if self.opt_passes < 1:
+            raise ValueError("opt_passes must be >= 1")
+        if self.opt_cells_per_pass < 1:
+            raise ValueError("opt_cells_per_pass must be >= 1")
+        if self.opt_guardband < 0 or not np.isfinite(self.opt_guardband):
+            raise ValueError("opt_guardband must be non-negative and finite")
+        if not isinstance(self.power_recovery, bool):
+            raise ValueError("power_recovery must be a bool")
 
     @property
     def clock_period_ps(self) -> float:
@@ -184,7 +207,8 @@ class SPRFlow:
             runtime_proxy=netlist.n_instances * (1 + 2 * options.synth_effort),
         )
         return self.implement(netlist, options, seed=step_seed(),
-                              design_name=spec.name, synth_log=synth_log)
+                              design_name=spec.name, synth_log=synth_log,
+                              result_seed=seed)
 
     def implement(
         self,
@@ -193,17 +217,25 @@ class SPRFlow:
         seed: int = 0,
         design_name: Optional[str] = None,
         synth_log: Optional[StepLog] = None,
+        result_seed: Optional[int] = None,
     ) -> FlowResult:
         """Physical implementation of an existing netlist.
 
         The entry point partition-driven flows use: each block netlist
         (already extracted) goes through floorplan -> place -> CTS ->
         route -> opt -> signoff on its own.
+
+        ``result_seed`` is the seed *reported* in the result (and its
+        log header): :meth:`run` passes the caller's flow seed here so
+        ``FlowResult.seed`` always reproduces the run through the same
+        entry point, while ``seed`` keeps driving step-seed derivation
+        unchanged.
         """
         rng = np.random.default_rng(seed)
         step_seed = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
         result = FlowResult(
-            design=design_name or netlist.name, options=options, seed=seed
+            design=design_name or netlist.name, options=options,
+            seed=seed if result_seed is None else result_seed,
         )
         period = options.clock_period_ps
         if synth_log is not None:
@@ -310,13 +342,23 @@ class SPRFlow:
 
 
 _LIBRARY = None
+_LIBRARY_LOCK = threading.Lock()
 
 
 def _default_library():
-    """Lazily built, shared default library (cells are immutable)."""
+    """Lazily built, shared default library (cells are immutable).
+
+    Double-checked locking: concurrent first callers (e.g. threads
+    fanning jobs into an executor) must not each build a library —
+    consumers compare cells by identity, and a torn global is visible
+    garbage.  Worker processes instead build it eagerly in the
+    executor's initializer.
+    """
     global _LIBRARY
     if _LIBRARY is None:
-        from repro.eda.library import make_default_library
+        with _LIBRARY_LOCK:
+            if _LIBRARY is None:
+                from repro.eda.library import make_default_library
 
-        _LIBRARY = make_default_library()
+                _LIBRARY = make_default_library()
     return _LIBRARY

@@ -1,0 +1,266 @@
+"""The parallel flow-execution engine and its result cache."""
+
+import functools
+import os
+import time
+
+import pytest
+
+from repro.core.parallel import (
+    FlowExecutionError,
+    FlowExecutor,
+    FlowJob,
+    ResultCache,
+    cache_key,
+    design_fingerprint,
+    flow_result_from_dict,
+    flow_result_to_dict,
+)
+from repro.eda.flow import FlowOptions, SPRFlow
+
+
+OPTS = FlowOptions(target_clock_ghz=0.6)
+
+
+# ------------------------------------------------------------- cache keys
+def test_cache_key_is_stable(small_spec):
+    assert cache_key(small_spec, OPTS, 3) == cache_key(small_spec, OPTS, 3)
+
+
+def test_cache_key_separates_design_options_seed(small_spec, small_netlist):
+    base = cache_key(small_spec, OPTS, 3)
+    assert cache_key(small_spec, OPTS, 4) != base
+    assert cache_key(small_spec, OPTS.with_(opt_passes=7), 3) != base
+    assert cache_key(small_netlist, OPTS, 3) != base
+
+
+def test_design_fingerprint_types(small_spec, small_netlist):
+    assert design_fingerprint(small_spec).startswith("spec:")
+    assert design_fingerprint(small_netlist).startswith("netlist:")
+    with pytest.raises(TypeError):
+        design_fingerprint("pulpino")
+
+
+def test_flow_result_json_round_trip(small_spec):
+    result = SPRFlow().run(small_spec, OPTS, seed=9)
+    assert flow_result_from_dict(flow_result_to_dict(result)) == result
+
+
+def test_result_cache_lru_eviction(small_spec):
+    result = SPRFlow().run(small_spec, OPTS, seed=9)
+    cache = ResultCache(max_entries=2)
+    for k in ("a", "b", "c"):
+        cache.put(k, result)
+    assert len(cache) == 2
+    assert cache.get("a") is None  # oldest evicted
+    assert cache.get("c") == result
+
+
+def test_result_cache_disk_tier(small_spec, tmp_path):
+    result = SPRFlow().run(small_spec, OPTS, seed=9)
+    cache = ResultCache(cache_dir=str(tmp_path))
+    cache.put("k", result)
+    fresh = ResultCache(cache_dir=str(tmp_path))  # new process, cold memory
+    assert fresh.get("k") == result
+    assert fresh.last_tier == "disk"
+    assert fresh.get("k") == result
+    assert fresh.last_tier == "memory"  # promoted
+
+
+def test_result_cache_corrupt_disk_entry_is_a_miss(tmp_path):
+    (tmp_path / "bad.json").write_text("{not json")
+    cache = ResultCache(cache_dir=str(tmp_path))
+    assert cache.get("bad") is None
+
+
+# ------------------------------------------------------- executor basics
+def test_executor_matches_direct_flow(small_spec):
+    direct = SPRFlow().run(small_spec, OPTS, seed=5)
+    via = FlowExecutor(n_workers=1).run_one(small_spec, OPTS, 5)
+    assert via == direct
+    assert via.seed == 5
+
+
+def test_executor_results_in_submission_order(small_spec):
+    seeds = [4, 1, 3, 2]
+    results = FlowExecutor(n_workers=1).run_jobs(
+        [FlowJob(small_spec, OPTS, s) for s in seeds]
+    )
+    assert [r.seed for r in results] == seeds
+
+
+def test_executor_implements_netlists(small_spec, library):
+    from repro.eda.synthesis import synthesize
+
+    netlist = synthesize(small_spec, library, effort=0.5, seed=7)  # private copy:
+    result = FlowExecutor(n_workers=1).run_one(netlist, OPTS, 2)   # implement mutates
+    assert result.design == netlist.name
+    assert [log.step for log in result.logs][0] == "floorplan"  # no synth step
+
+
+def test_executor_dedupes_within_batch(small_spec):
+    executor = FlowExecutor(n_workers=1)
+    results = executor.run_jobs([FlowJob(small_spec, OPTS, 1)] * 4)
+    assert executor.stats.jobs_run == 1
+    assert executor.stats.deduped == 3
+    assert all(r == results[0] for r in results)
+
+
+def test_executor_repeated_campaign_hits_cache(small_spec):
+    executor = FlowExecutor(n_workers=1)
+    jobs = [FlowJob(small_spec, OPTS, s) for s in range(6)]
+    first = executor.run_jobs(jobs)
+    ran_before = executor.stats.jobs_run
+    again = executor.run_jobs(jobs)
+    assert executor.stats.jobs_run == ran_before  # zero new runs
+    assert executor.stats.cache_hits_memory == len(jobs)
+    assert again == first
+    # the acceptance bar: a repeated campaign is >= 95% cache hits
+    assert executor.stats.cache_hits / len(jobs) >= 0.95
+
+
+def test_executor_disk_cache_across_instances(small_spec, tmp_path):
+    jobs = [FlowJob(small_spec, OPTS, s) for s in range(3)]
+    with FlowExecutor(n_workers=1, cache=True, cache_dir=str(tmp_path)) as first:
+        a = first.run_jobs(jobs)
+    with FlowExecutor(n_workers=1, cache=True, cache_dir=str(tmp_path)) as second:
+        b = second.run_jobs(jobs)
+        assert second.stats.jobs_run == 0
+        assert second.stats.cache_hits_disk == 3
+    assert a == b
+
+
+def test_executor_cache_disabled(small_spec):
+    executor = FlowExecutor(n_workers=1, cache=None)
+    executor.run_jobs([FlowJob(small_spec, OPTS, 1)] * 2)
+    assert executor.stats.jobs_run == 2
+    assert executor.stats.cache_hits == 0
+
+
+def test_executor_validation():
+    with pytest.raises(ValueError):
+        FlowExecutor(n_workers=0)
+    with pytest.raises(ValueError):
+        FlowExecutor(timeout_s=0)
+    with pytest.raises(ValueError):
+        FlowExecutor(max_retries=-1)
+    with pytest.raises(ValueError):
+        FlowExecutor(cache=ResultCache(), cache_dir="/tmp/x")
+
+
+# -------------------------------------------------- failure semantics
+def _crash_always(design, options, seed, stop_callback=None):
+    raise RuntimeError("license server exploded")
+
+
+def _crash_once(flag_path, design, options, seed, stop_callback=None):
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("crashed")
+        raise RuntimeError("transient crash")
+    return SPRFlow().run(design, options, seed=seed)
+
+
+def _sleepy(design, options, seed, stop_callback=None):
+    time.sleep(2.0)
+    return SPRFlow().run(design, options, seed=seed)
+
+
+def test_crash_is_recorded_not_raised(small_spec):
+    executor = FlowExecutor(n_workers=1, flow_fn=_crash_always, max_retries=1)
+    outcomes = executor.run_jobs([FlowJob(small_spec, OPTS, 1),
+                                  FlowJob(small_spec, OPTS, 2)])
+    assert all(isinstance(o, FlowExecutionError) for o in outcomes)
+    assert outcomes[0].attempts == 2
+    assert outcomes[1].seed == 2
+    assert executor.stats.failures == 2
+    assert executor.stats.retries == 2
+
+
+def test_crash_retry_recovers(small_spec, tmp_path):
+    flow_fn = functools.partial(_crash_once, str(tmp_path / "flag"))
+    executor = FlowExecutor(n_workers=1, flow_fn=flow_fn, max_retries=1,
+                            cache=None)
+    result = executor.run_one(small_spec, OPTS, 3)
+    assert result == SPRFlow().run(small_spec, OPTS, seed=3)
+    assert executor.stats.retries == 1
+    assert executor.stats.failures == 0
+
+
+def test_crash_in_worker_process_recorded(small_spec):
+    with FlowExecutor(n_workers=2, flow_fn=_crash_always, max_retries=0,
+                      cache=None) as executor:
+        good_and_bad = executor.run_jobs([FlowJob(small_spec, OPTS, 1)])
+    assert isinstance(good_and_bad[0], FlowExecutionError)
+    assert executor.stats.failures == 1
+
+
+def test_timeout_recorded_in_process_mode(small_spec):
+    with FlowExecutor(n_workers=2, flow_fn=_sleepy, timeout_s=0.2,
+                      cache=None) as executor:
+        outcome = executor.run_one(small_spec, OPTS, 1)
+    assert isinstance(outcome, FlowExecutionError)
+    assert outcome.kind == "timeout"
+    assert executor.stats.timeouts == 1
+
+
+def test_failed_jobs_are_not_cached(small_spec, tmp_path):
+    flow_fn = functools.partial(_crash_once, str(tmp_path / "flag"))
+    executor = FlowExecutor(n_workers=1, flow_fn=flow_fn, max_retries=0)
+    first = executor.run_one(small_spec, OPTS, 3)
+    assert isinstance(first, FlowExecutionError)
+    second = executor.run_one(small_spec, OPTS, 3)  # flag now exists
+    assert second == SPRFlow().run(small_spec, OPTS, seed=3)
+
+
+# ----------------------------------------------------------- generic map
+def _square(x):
+    return x * x
+
+
+def test_generic_map_preserves_order():
+    executor = FlowExecutor(n_workers=1)
+    assert executor.map(_square, [(3,), (1,), (2,)]) == [9, 1, 4]
+
+
+def test_generic_map_records_failures():
+    executor = FlowExecutor(n_workers=1, max_retries=0)
+    out = executor.map(_square, [(2,), ("oops",)])
+    assert out[0] == 4
+    assert isinstance(out[1], FlowExecutionError)
+
+
+# --------------------------------------------------------------- speedup
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup acceptance needs >= 4 cores")
+def test_twenty_run_campaign_speedup_on_four_workers(small_spec):
+    """Acceptance bar: a 20-run campaign via FlowExecutor(n_workers=4)
+    is >= 2x faster wall-clock than the serial loop, with identical
+    results."""
+    jobs = [FlowJob(small_spec, OPTS, s) for s in range(20)]
+    t0 = time.perf_counter()
+    serial = [SPRFlow().run(j.design, j.options, seed=j.seed) for j in jobs]
+    t_serial = time.perf_counter() - t0
+    with FlowExecutor(n_workers=4, cache=None) as executor:
+        executor.run_jobs(jobs[:1])  # absorb pool start-up cost
+        t0 = time.perf_counter()
+        parallel = executor.run_jobs(jobs)
+        t_parallel = time.perf_counter() - t0
+    assert parallel == serial
+    assert t_serial / t_parallel >= 2.0
+
+
+# ----------------------------------------------------------------- stats
+def test_stats_summary_and_accounting(small_spec):
+    executor = FlowExecutor(n_workers=1)
+    results = executor.run_jobs([FlowJob(small_spec, OPTS, s) for s in (1, 1, 2)])
+    stats = executor.stats
+    assert stats.jobs_submitted == 3
+    assert stats.jobs_run == 2
+    assert stats.deduped == 1
+    assert stats.wall_time_s > 0
+    assert stats.runtime_proxy_total == pytest.approx(
+        sum(r.runtime_proxy for r in results)
+    )
+    line = stats.summary()
+    assert "jobs=3" in line and "retries=0" in line and "wall=" in line

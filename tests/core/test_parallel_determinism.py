@@ -1,0 +1,115 @@
+"""Determinism under parallelism: every campaign layer must produce
+bit-identical results and traces at any worker count.
+
+Each test runs the same campaign through a serial executor
+(``n_workers=1``) and a 4-worker process pool and compares full
+results.  This is the property that makes "n_concurrent licenses" a
+pure throughput knob, as in the paper's experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.characterize import characterize
+from repro.core.bandit import (
+    BatchBanditScheduler,
+    FlowArmEnvironment,
+    ThompsonSampling,
+)
+from repro.core.orchestration import TrajectoryExplorer
+from repro.core.parallel import FlowExecutor
+from repro.core.search import AdaptiveMultistart, BisectionProblem
+from repro.core.search.multistart import random_multistart
+
+
+@pytest.fixture(scope="module")
+def pool4():
+    with FlowExecutor(n_workers=4, cache=None) as executor:
+        yield executor
+
+
+def test_explorer_is_worker_count_invariant(small_spec, pool4):
+    serial = TrajectoryExplorer(
+        n_concurrent=3, n_rounds=2, executor=FlowExecutor(n_workers=1, cache=None)
+    ).explore(small_spec, seed=6)
+    parallel = TrajectoryExplorer(
+        n_concurrent=3, n_rounds=2, executor=pool4
+    ).explore(small_spec, seed=6)
+    assert serial.score_trace == parallel.score_trace
+    assert serial.best_score == parallel.best_score
+    assert serial.best_result == parallel.best_result
+    assert (serial.n_runs, serial.n_pruned) == (parallel.n_runs, parallel.n_pruned)
+
+
+def test_bandit_schedule_is_worker_count_invariant(small_spec, pool4):
+    def campaign(executor):
+        env = FlowArmEnvironment(small_spec, [0.5, 0.7], seed=3)
+        policy = ThompsonSampling(2, seed=4)
+        result = BatchBanditScheduler(3, 2, executor=executor).run(policy, env)
+        return result, env
+
+    serial_result, serial_env = campaign(FlowExecutor(n_workers=1, cache=None))
+    parallel_result, parallel_env = campaign(pool4)
+    assert serial_result.records == parallel_result.records
+    assert serial_result.total_reward == parallel_result.total_reward
+    # the environment trace (every QoR) matches too
+    assert len(serial_env.history) == len(parallel_env.history)
+    for a, b in zip(serial_env.history, parallel_env.history):
+        assert a.result == b.result
+
+
+def test_bandit_executor_path_matches_plain_pulls(small_spec):
+    """The executor path must equal the historical serial pull() loop."""
+    env_plain = FlowArmEnvironment(small_spec, [0.5, 0.7], seed=3)
+    plain = BatchBanditScheduler(2, 2).run(ThompsonSampling(2, seed=4), env_plain)
+    env_exec = FlowArmEnvironment(small_spec, [0.5, 0.7], seed=3)
+    threaded = BatchBanditScheduler(
+        2, 2, executor=FlowExecutor(n_workers=1, cache=None)
+    ).run(ThompsonSampling(2, seed=4), env_exec)
+    assert plain.records == threaded.records
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return BisectionProblem.random_community(
+        n_nodes=64, n_communities=8, p_in=0.6, p_out=0.06, seed=1
+    )
+
+
+def test_random_multistart_is_worker_count_invariant(problem, pool4):
+    serial = random_multistart(problem, 6, seed=2,
+                               executor=FlowExecutor(n_workers=1, cache=None))
+    parallel = random_multistart(problem, 6, seed=2, executor=pool4)
+    assert serial.best_cost == parallel.best_cost
+    assert serial.all_costs == parallel.all_costs
+    assert np.array_equal(serial.best_assign, parallel.best_assign)
+
+
+def test_adaptive_multistart_is_worker_count_invariant(problem, pool4):
+    ams = AdaptiveMultistart(n_initial=4, n_adaptive_rounds=2, starts_per_round=2,
+                             elite_size=2)
+    serial = ams.run(problem, seed=7, executor=FlowExecutor(n_workers=1, cache=None))
+    parallel = ams.run(problem, seed=7, executor=pool4)
+    assert serial.all_costs == parallel.all_costs
+    assert np.array_equal(serial.best_assign, parallel.best_assign)
+    assert serial.n_local_searches == parallel.n_local_searches == 4 + 2 * 2
+
+
+def test_characterize_is_worker_count_invariant(pool4):
+    serial = characterize(n_charts=4, n_stages=5, seed=5,
+                          executor=FlowExecutor(n_workers=1, cache=None))
+    parallel = characterize(n_charts=4, n_stages=5, seed=5, executor=pool4)
+    assert [r.sizer for r in serial] == [r.sizer for r in parallel]
+    for a, b in zip(serial, parallel):
+        assert a.qualities == b.qualities
+
+
+def test_cached_campaign_matches_uncached(small_spec):
+    """Cache hits must be observationally identical to fresh runs."""
+    cached = FlowExecutor(n_workers=1, cache=True)
+    explorer = TrajectoryExplorer(n_concurrent=3, n_rounds=2, executor=cached)
+    first = explorer.explore(small_spec, seed=9)
+    second = explorer.explore(small_spec, seed=9)  # identical campaign
+    assert first.best_result == second.best_result
+    assert first.score_trace == second.score_trace
+    assert cached.stats.cache_hit_rate >= 0.45  # second pass was ~free

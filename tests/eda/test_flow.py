@@ -79,6 +79,83 @@ def test_flow_options_validation():
         FlowOptions(utilization=0.99)
 
 
+@pytest.mark.parametrize("bad, message", [
+    (dict(target_clock_ghz=float("inf")), "target_clock_ghz"),
+    (dict(aspect_ratio=0.05), "aspect_ratio"),
+    (dict(aspect_ratio=20.0), "aspect_ratio"),
+    (dict(placer_moves_per_cell=0), "placer_moves_per_cell"),
+    (dict(spread_strength=0.0), "spread_strength"),
+    (dict(spread_strength=11.0), "spread_strength"),
+    (dict(cts_effort=7), "cts_effort"),
+    (dict(cts_effort=-0.1), "cts_effort"),
+    (dict(router_tracks_per_um=0.0), "router_tracks_per_um"),
+    (dict(router_effort=-0.5), "router_effort"),
+    (dict(router_effort=1.5), "router_effort"),
+    (dict(router_max_iterations=0), "router_max_iterations"),
+    (dict(opt_passes=-1), "opt_passes"),
+    (dict(opt_passes=0), "opt_passes"),
+    (dict(opt_cells_per_pass=0), "opt_cells_per_pass"),
+    (dict(opt_guardband=-1.0), "opt_guardband"),
+    (dict(power_recovery=1), "power_recovery"),
+])
+def test_every_knob_is_validated(bad, message):
+    """All 14 knobs reject out-of-range values at construction, with
+    the knob name in the message — not deep inside a flow step."""
+    with pytest.raises(ValueError, match=message):
+        FlowOptions(**bad)
+
+
+def test_reported_seed_reproduces_the_run(small_spec):
+    """FlowResult.seed must replay the run through the same entry
+    point (the seed-threading regression: run() used to report a
+    derived step seed instead of the caller's)."""
+    first = SPRFlow().run(small_spec, FlowOptions(target_clock_ghz=0.6), seed=21)
+    assert first.seed == 21
+    assert "seed=21" in first.log_text().splitlines()[0]
+    replay = SPRFlow().run(small_spec, FlowOptions(target_clock_ghz=0.6),
+                           seed=first.seed)
+    assert replay.area == first.area
+    assert replay.wns == first.wns
+    assert replay.final_drvs == first.final_drvs
+    assert replay.logs == first.logs
+
+
+def test_implement_reports_its_own_seed(small_spec, library):
+    from repro.eda.synthesis import synthesize
+
+    netlist = synthesize(small_spec, library, effort=0.5, seed=7)  # private copy:
+    result = SPRFlow().implement(netlist, FlowOptions(), seed=33)  # implement mutates
+    assert result.seed == 33
+
+
+def test_default_library_single_instance_under_concurrency():
+    """Concurrent first callers must share one library (the lazy
+    global used to race)."""
+    import threading
+
+    import repro.eda.flow as flow_mod
+
+    original = flow_mod._LIBRARY
+    try:
+        flow_mod._LIBRARY = None
+        barrier = threading.Barrier(4)
+        seen = []
+
+        def grab():
+            barrier.wait()
+            seen.append(flow_mod._default_library())
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 4
+        assert all(lib is seen[0] for lib in seen)
+    finally:
+        flow_mod._LIBRARY = original
+
+
 def test_option_space_is_enormous():
     """The paper: 'well over ten thousand command-option combinations'."""
     assert FlowOptions.option_space_size() > 10_000

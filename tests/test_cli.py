@@ -58,6 +58,27 @@ def test_mab_command(capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "recommended target" in out
+    assert "executor: jobs=" in out  # the stats line
+
+
+def test_mab_command_parallel_with_cache(capsys, tmp_path):
+    args = ["mab", "--design", "PHY", "--arms", "0.4,0.8", "--iterations", "2",
+            "--concurrent", "2", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0  # second run replays from the disk cache
+    out = capsys.readouterr().out
+    assert "disk=4" in out
+
+
+def test_explore_command(capsys):
+    code = main(["explore", "--design", "PHY", "--rounds", "1",
+                 "--concurrent", "2", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert "2 runs over 1 rounds" in out
+    assert "executor: jobs=2" in out
+    assert code == 0
 
 
 def test_unknown_command_rejected():
