@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test smoke bench
+.PHONY: test smoke metrics-smoke bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -17,6 +17,18 @@ smoke:
 		--design PHY --rounds 2 --concurrent 3 --workers 2 --seed 1
 	PYTHONPATH=$(PYTHONPATH) timeout 180 $(PYTHON) -m repro.cli mab \
 		--design PHY --arms 0.4,0.6 --iterations 2 --concurrent 2 --workers 2
+
+# A bounded 2-worker instrumented campaign: every parallel run's step
+# metrics plus executor events must land in one METRICS JSONL file that
+# `repro metrics summary` can read back — the cross-process collection
+# path end to end.
+metrics-smoke:
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) -m repro.cli explore \
+		--design PHY --rounds 2 --concurrent 3 --workers 2 --seed 1 \
+		--metrics-out .metrics-smoke.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli metrics summary \
+		--in .metrics-smoke.jsonl --design phy
+	rm -f .metrics-smoke.jsonl
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -9,10 +9,14 @@ Python:
 - ``repro doomed`` — train and evaluate the doomed-run strategy card;
 - ``repro mab`` — the Fig 7 bandit tuning loop;
 - ``repro explore`` — GWTW trajectory exploration (Fig 5/6);
-- ``repro cost`` — ITRS design-cost projections.
+- ``repro cost`` — ITRS design-cost projections;
+- ``repro metrics summary`` — inspect a collected METRICS JSONL file.
 
 ``mab`` and ``explore`` accept ``--workers N`` (parallel flow
-execution) and ``--cache-dir`` (persistent result cache); both print
+execution), ``--cache-dir`` (persistent result cache), and
+``--metrics-out FILE`` (cross-process METRICS collection: every flow
+run's step metrics plus per-job executor events land in a JSONL file
+that ``repro metrics summary`` and the data miner consume); all print
 the executor's stats line (jobs, cache hits, retries, wall time).
 """
 
@@ -101,8 +105,27 @@ def _cmd_doomed(args) -> int:
 def _make_executor(args):
     from repro.core.parallel import FlowExecutor
 
+    collector = None
+    if getattr(args, "metrics_out", None):
+        from repro.metrics import MetricsCollector, MetricsServer
+
+        collector = MetricsCollector(
+            MetricsServer(persist_path=args.metrics_out),
+            cross_process=args.workers > 1,
+        )
     return FlowExecutor(n_workers=args.workers, cache=True,
-                        cache_dir=args.cache_dir)
+                        cache_dir=args.cache_dir, collector=collector)
+
+
+def _finish_metrics(executor, args) -> None:
+    """Drain and persist the executor's collector, then report it."""
+    if executor.collector is None:
+        return
+    executor.collector.stop()
+    server = executor.collector.server
+    print(f"metrics: {len(server)} records over {len(server.runs())} runs "
+          f"-> {args.metrics_out}")
+    server.close()
 
 
 def _cmd_mab(args) -> int:
@@ -125,6 +148,7 @@ def _cmd_mab(args) -> int:
         best = int(policy.posterior_mean().argmax())
         print(f"recommended target: {frequencies[best]:.2f} GHz")
         print(f"executor: {executor.stats.summary()}")
+        _finish_metrics(executor, args)
     return 0
 
 
@@ -149,7 +173,44 @@ def _cmd_explore(args) -> int:
                   f"area={best.area:.1f}um2 wns={best.wns:.1f}ps "
                   f"{'SUCCESS' if best.success else 'FAILED'}")
         print(f"executor: {executor.stats.summary()}")
+        _finish_metrics(executor, args)
     return 0 if result.best_result is not None else 1
+
+
+def _cmd_metrics_summary(args) -> int:
+    from repro.metrics import DataMiner, MetricsServer
+
+    server = MetricsServer(persist_path=args.path)
+    if len(server) == 0:
+        print(f"no records in {args.path}")
+        return 1
+    records = server.query(design=args.design)
+    run_ids = server.runs(args.design)
+    designs = sorted({r.design for r in records})
+    print(f"{len(records)} records over {len(run_ids)} runs, "
+          f"designs: {', '.join(designs)}")
+    if server.skipped_lines:
+        print(f"({server.skipped_lines} corrupt line(s) skipped at load)")
+    by_metric = {}
+    for record in records:
+        by_metric.setdefault(record.metric, []).append(record.value)
+    print(f"{'metric':<24} {'count':>6} {'mean':>12} {'min':>12} {'max':>12}")
+    for metric in sorted(by_metric):
+        values = by_metric[metric]
+        print(f"{metric:<24} {len(values):>6} {sum(values)/len(values):>12.4f} "
+              f"{min(values):>12.4f} {max(values):>12.4f}")
+    if args.recommend:
+        try:
+            rec = DataMiner(server, seed=0).recommend_options(
+                objective=args.recommend, design=args.design
+            )
+        except (ValueError, KeyError) as exc:
+            print(f"cannot mine a recommendation: {exc}")
+            return 1
+        settings = " ".join(f"{k}={v:.3f}" for k, v in rec.options.items())
+        print(f"recommendation ({args.recommend}, r2={rec.model_r2:.2f}, "
+              f"predicted {rec.predicted_objective:.2f}): {settings}")
+    return 0
 
 
 def _cmd_cost(args) -> int:
@@ -205,6 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="parallel flow workers (1 = serial)")
     mab.add_argument("--cache-dir", default=None,
                      help="directory for the on-disk result-cache tier")
+    mab.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="collect METRICS records from every run into this JSONL file")
     mab.set_defaults(func=_cmd_mab)
 
     explore = sub.add_parser(
@@ -218,7 +281,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel flow workers (1 = serial)")
     explore.add_argument("--cache-dir", default=None,
                          help="directory for the on-disk result-cache tier")
+    explore.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="collect METRICS records from every run into this JSONL file")
     explore.set_defaults(func=_cmd_explore)
+
+    metrics = sub.add_parser("metrics", help="inspect collected METRICS data")
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    summary = metrics_sub.add_parser(
+        "summary", help="summarize a METRICS JSONL file (runs, metrics, miner)"
+    )
+    summary.add_argument("--in", dest="path", required=True, metavar="FILE",
+                         help="JSONL file written by --metrics-out / MetricsServer")
+    summary.add_argument("--design", default=None,
+                         help="restrict to one design")
+    summary.add_argument("--recommend", default=None, metavar="OBJECTIVE",
+                         help="also mine an option recommendation for this objective")
+    summary.set_defaults(func=_cmd_metrics_summary)
 
     cost = sub.add_parser("cost", help="ITRS design-cost projection")
     cost.add_argument("--year", type=int, default=2028)

@@ -139,10 +139,15 @@ class ResultCache:
             path = self._disk_path(key)
             fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
             try:
+                # fdopen's context closes fd even when json.dump raises,
+                # so an unserializable result leaks neither the
+                # descriptor nor (see finally) the temp file
                 with os.fdopen(fd, "w") as fh:
                     json.dump(flow_result_to_dict(result), fh)
                 os.replace(tmp, path)
-            except OSError:
+            except (OSError, TypeError, ValueError):
+                pass  # a failed disk write must not fail the campaign
+            finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
 
@@ -153,9 +158,10 @@ class ResultCache:
             self._memory.popitem(last=False)
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory tier; with ``disk=True`` also the disk tier."""
+        """Drop the memory tier; with ``disk=True`` also the disk tier
+        (including stale ``.tmp`` files left by killed writers)."""
         self._memory.clear()
         if disk and self.cache_dir is not None:
             for name in os.listdir(self.cache_dir):
-                if name.endswith(".json"):
+                if name.endswith(".json") or name.endswith(".tmp"):
                     os.unlink(os.path.join(self.cache_dir, name))

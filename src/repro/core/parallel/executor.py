@@ -14,6 +14,12 @@ Failure semantics: a job that times out or whose worker crashes (after
 *in its result slot* instead of aborting the batch — campaign layers
 record the failure in their trace and keep going, exactly like a
 license-server hiccup in a real tool farm.
+
+With a :class:`~repro.metrics.MetricsCollector` attached, every flow
+job additionally reports into METRICS: workers transmit step metrics
+through the collector's queue, and the executor emits per-job event
+records (cache tier, dedup, retries, timeouts, wall time) — see
+``docs/metrics.md``.
 """
 
 from __future__ import annotations
@@ -148,6 +154,17 @@ class FlowExecutor:
         the job function, ``(design, options, seed, stop_callback) ->
         FlowResult``.  Defaults to :func:`run_flow_job`; tests inject
         crashing/slow stand-ins here.
+    collector:
+        an optional :class:`~repro.metrics.MetricsCollector`.  When
+        set, every flow job reports into its server: executed jobs
+        transmit their step metrics worker-side (through the
+        collector's queue), cache-served jobs are re-reported
+        coordinator-side, and the executor emits per-job event records
+        (cache tier hits, dedup, retries, timeouts, wall vs. proxy
+        runtime) under the job's run id.  Run ids are content-derived
+        (:func:`~repro.metrics.make_run_id`), so identical jobs share
+        one id and distinct jobs never collide across workers.  With
+        ``n_workers > 1`` the collector must be ``cross_process=True``.
     """
 
     def __init__(
@@ -158,6 +175,7 @@ class FlowExecutor:
         timeout_s: Optional[float] = None,
         max_retries: int = 1,
         flow_fn: Optional[Callable[..., FlowResult]] = None,
+        collector=None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -176,6 +194,7 @@ class FlowExecutor:
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.flow_fn = flow_fn or run_flow_job
+        self.collector = collector
         self.stats = ExecutorStats()
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
@@ -218,7 +237,11 @@ class FlowExecutor:
         """
         t0 = time.perf_counter()
         self.stats.jobs_submitted += len(jobs)
+        run_ids = self._prepare_collection(jobs)
         results: List[Optional[Union[FlowResult, FlowExecutionError]]] = [None] * len(jobs)
+        hit_tier: List[Optional[str]] = [None] * len(jobs)
+        deduped: List[bool] = [False] * len(jobs)
+        job_attempts: List[int] = [0] * len(jobs)
 
         # cache lookups + within-batch dedup
         to_run: List[int] = []        # job indices that must execute
@@ -235,22 +258,35 @@ class FlowExecutor:
                         self.stats.cache_hits_disk += 1
                     else:
                         self.stats.cache_hits_memory += 1
+                    hit_tier[i] = self.cache.last_tier
                     results[i] = hit
                     continue
                 if key in leader_of_key:
                     followers.setdefault(leader_of_key[key], []).append(i)
                     self.stats.deduped += 1
+                    deduped[i] = True
                     continue
                 leader_of_key[key] = i
             to_run.append(i)
 
-        executed = self._execute(
-            [(jobs[i].design, jobs[i].options, jobs[i].seed, stop_callback)
-             for i in to_run],
-            indices=to_run,
-        )
-        for i, outcome in zip(to_run, executed):
+        if run_ids is None:
+            tasks = [(jobs[i].design, jobs[i].options, jobs[i].seed, stop_callback)
+                     for i in to_run]
+            fn = None
+        else:
+            # workers report step metrics themselves, through the queue
+            from repro.metrics.collector import run_instrumented_flow_job
+
+            tasks = [(self.collector.queue, run_ids[i], self.flow_fn,
+                      jobs[i].design, jobs[i].options, jobs[i].seed, stop_callback)
+                     for i in to_run]
+            fn = run_instrumented_flow_job
+        attempts_out: List[int] = []
+        executed = self._execute(tasks, indices=to_run, fn=fn,
+                                 attempts_out=attempts_out)
+        for i, outcome, n_attempts in zip(to_run, executed, attempts_out):
             results[i] = outcome
+            job_attempts[i] = n_attempts
             if isinstance(outcome, FlowResult) and self.cache is not None:
                 self.cache.put(keys[i], outcome)
             for j in followers.get(i, ()):
@@ -259,7 +295,11 @@ class FlowExecutor:
         for outcome in results:
             if isinstance(outcome, FlowResult):
                 self.stats.runtime_proxy_total += outcome.runtime_proxy
-        self.stats.wall_time_s += time.perf_counter() - t0
+        wall = time.perf_counter() - t0
+        self.stats.wall_time_s += wall
+        if run_ids is not None:
+            self._report_batch(jobs, run_ids, results, hit_tier, deduped,
+                               job_attempts, wall)
         return results  # type: ignore[return-value]
 
     def run_one(
@@ -283,15 +323,63 @@ class FlowExecutor:
         return outcomes
 
     # ------------------------------------------------------------ internals
+    def _prepare_collection(self, jobs: Sequence[FlowJob]) -> Optional[List[str]]:
+        """Run ids for an instrumented batch (None when not collecting)."""
+        if self.collector is None:
+            return None
+        if self.n_workers > 1 and not self.collector.cross_process:
+            raise ValueError(
+                "n_workers > 1 needs a MetricsCollector(cross_process=True)"
+            )
+        from repro.metrics.wrappers import make_run_id
+
+        self.collector.start()  # idempotent
+        return [make_run_id(job.design, job.options, job.seed) for job in jobs]
+
+    def _report_batch(self, jobs, run_ids, results, hit_tier, deduped,
+                      job_attempts, wall: float) -> None:
+        """Emit per-job executor-event records, and re-report cache-served
+        results whose step metrics may predate this server (disk tier)."""
+        from repro.metrics.collector import QueueTransmitter
+        from repro.metrics.wrappers import report_flow_metrics
+
+        for i, job in enumerate(jobs):
+            outcome = results[i]
+            failed = isinstance(outcome, FlowExecutionError)
+            design_name = job.design.name
+            with QueueTransmitter(self.collector.queue, design_name,
+                                  run_ids[i], tool="flow_executor") as tx:
+                tx.send("exec.cache_hit_memory", float(hit_tier[i] == "memory"))
+                tx.send("exec.cache_hit_disk", float(hit_tier[i] == "disk"))
+                tx.send("exec.dedup", float(deduped[i]))
+                tx.send("exec.attempts", float(job_attempts[i]))
+                tx.send("exec.retries", float(max(0, job_attempts[i] - 1)))
+                tx.send("exec.timeout",
+                        float(failed and outcome.kind == "timeout"))
+                tx.send("exec.failure", float(failed))
+                tx.send("exec.runtime_proxy",
+                        0.0 if failed else outcome.runtime_proxy)
+                tx.send("exec.wall_time", wall)
+            if hit_tier[i] is not None and not failed:
+                with QueueTransmitter(self.collector.queue, design_name,
+                                      run_ids[i], tool="spr_flow") as tx:
+                    report_flow_metrics(tx, outcome)
+
     def _execute(self, tasks: List[Tuple], indices: List[int],
-                 fn: Optional[Callable] = None) -> List[object]:
+                 fn: Optional[Callable] = None,
+                 attempts_out: Optional[List[int]] = None) -> List[object]:
         fn = fn or self.flow_fn
+        if attempts_out is None:
+            attempts_out = []
         if not tasks:
             return []
         if self.n_workers == 1:
-            return [self._run_serial(fn, task, idx)
-                    for task, idx in zip(tasks, indices)]
-        return self._run_pool(fn, tasks, indices)
+            pairs = [self._run_serial(fn, task, idx)
+                     for task, idx in zip(tasks, indices)]
+        else:
+            pairs = self._run_pool(fn, tasks, indices)
+        attempts_out.extend(n for _, n in pairs)
+        return [outcome for outcome, _ in pairs]
 
     def _run_serial(self, fn, task, index):
         attempts = 0
@@ -300,7 +388,7 @@ class FlowExecutor:
             try:
                 result = fn(*task)
                 self.stats.jobs_run += 1
-                return result
+                return result, attempts
             except Exception as exc:  # noqa: BLE001 - recorded, not hidden
                 if attempts <= self.max_retries:
                     self.stats.retries += 1
@@ -310,7 +398,7 @@ class FlowExecutor:
                     f"job failed after {attempts} attempt(s): {exc}",
                     job_index=index, seed=self._seed_of(task),
                     attempts=attempts, kind="crash",
-                )
+                ), attempts
 
     def _run_pool(self, fn, tasks, indices):
         pool = self._ensure_pool()
@@ -322,17 +410,17 @@ class FlowExecutor:
                 try:
                     result = future.result(timeout=self.timeout_s)
                     self.stats.jobs_run += 1
-                    outcomes.append(result)
+                    outcomes.append((result, attempts[pos]))
                     break
                 except concurrent.futures.TimeoutError:
                     future.cancel()
                     self.stats.timeouts += 1
                     self.stats.failures += 1
-                    outcomes.append(FlowExecutionError(
+                    outcomes.append((FlowExecutionError(
                         f"job exceeded timeout of {self.timeout_s}s",
                         job_index=indices[pos], seed=self._seed_of(tasks[pos]),
                         attempts=attempts[pos], kind="timeout",
-                    ))
+                    ), attempts[pos]))
                     break
                 except concurrent.futures.process.BrokenProcessPool:
                     self._restart_pool()
@@ -347,11 +435,11 @@ class FlowExecutor:
                         future = futures[pos]
                         continue
                     self.stats.failures += 1
-                    outcomes.append(FlowExecutionError(
+                    outcomes.append((FlowExecutionError(
                         f"worker pool broke {attempts[pos]} time(s) on this job",
                         job_index=indices[pos], seed=self._seed_of(tasks[pos]),
                         attempts=attempts[pos], kind="crash",
-                    ))
+                    ), attempts[pos]))
                     break
                 except Exception as exc:  # noqa: BLE001 - worker raised
                     if attempts[pos] <= self.max_retries:
@@ -360,11 +448,11 @@ class FlowExecutor:
                         future = pool.submit(fn, *tasks[pos])
                         continue
                     self.stats.failures += 1
-                    outcomes.append(FlowExecutionError(
+                    outcomes.append((FlowExecutionError(
                         f"job failed after {attempts[pos]} attempt(s): {exc}",
                         job_index=indices[pos], seed=self._seed_of(tasks[pos]),
                         attempts=attempts[pos], kind="crash",
-                    ))
+                    ), attempts[pos]))
                     break
         return outcomes
 

@@ -13,20 +13,31 @@ records -> the METRICS server -> the data miner -> predictions fed back
 to the flow.
 """
 
-from repro.metrics.schema import MetricRecord, VOCABULARY, validate_metric_name
+from repro.metrics.schema import (
+    EXECUTOR_EVENT_METRICS,
+    MetricRecord,
+    VOCABULARY,
+    validate_metric_name,
+)
 from repro.metrics.transmitter import Transmitter
 from repro.metrics.server import MetricsServer
-from repro.metrics.wrappers import InstrumentedFlow
+from repro.metrics.wrappers import InstrumentedFlow, make_run_id, report_flow_metrics
+from repro.metrics.collector import MetricsCollector, QueueTransmitter
 from repro.metrics.miner import DataMiner, OptionRecommendation
 from repro.metrics.feedback import AdaptiveFlowSession
 
 __all__ = [
+    "EXECUTOR_EVENT_METRICS",
     "MetricRecord",
     "VOCABULARY",
     "validate_metric_name",
     "Transmitter",
     "MetricsServer",
+    "MetricsCollector",
+    "QueueTransmitter",
     "InstrumentedFlow",
+    "make_run_id",
+    "report_flow_metrics",
     "DataMiner",
     "OptionRecommendation",
     "AdaptiveFlowSession",

@@ -50,7 +50,33 @@ VOCABULARY: Dict[str, tuple] = {
     "option.cts_effort": ("ratio", "CTS effort"),
     "option.router_effort": ("ratio", "detailed-router effort"),
     "option.opt_guardband": ("ps", "optimizer pessimism margin"),
+    # executor events: the parallel campaign layer reports its own
+    # per-job bookkeeping (cache tier hits, dedup, retries, timeouts,
+    # wall vs. proxy runtime) as first-class records
+    "exec.cache_hit_memory": ("bool", "job served from the in-memory result cache"),
+    "exec.cache_hit_disk": ("bool", "job served from the on-disk result cache"),
+    "exec.dedup": ("bool", "job merged with an identical job in its batch"),
+    "exec.attempts": ("count", "execution attempts (0 = served without running)"),
+    "exec.retries": ("count", "crash retries consumed by the job"),
+    "exec.timeout": ("bool", "job hit the per-job wall-clock timeout"),
+    "exec.failure": ("bool", "job produced no FlowResult"),
+    "exec.runtime_proxy": ("work", "simulated tool cost of the delivered result"),
+    "exec.wall_time": ("s", "wall-clock of the executor batch the job ran in"),
 }
+
+#: the executor-event subset of the vocabulary, emitted per job by an
+#: instrumented :class:`~repro.core.parallel.FlowExecutor`
+EXECUTOR_EVENT_METRICS = (
+    "exec.cache_hit_memory",
+    "exec.cache_hit_disk",
+    "exec.dedup",
+    "exec.attempts",
+    "exec.retries",
+    "exec.timeout",
+    "exec.failure",
+    "exec.runtime_proxy",
+    "exec.wall_time",
+)
 
 _NAME_RE = re.compile(r"^[a-z_]+\.[a-z_]+$")
 

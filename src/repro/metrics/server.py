@@ -5,11 +5,19 @@ METRICS with today's commodity networking, database and cloud
 technologies will be much simpler compared to the initial
 implementation" (the original used Enterprise Java Beans and servlets;
 a dictionary and a flat file suffice here).
+
+Persistence is hardened for parallel campaigns: each record is one
+line appended with a single unbuffered ``O_APPEND`` write (atomic at
+line granularity, so concurrent writer processes interleave whole
+lines), ``receive`` is thread-safe (the collector's drain thread and
+direct transmitters may share one server), and reloading skips torn or
+corrupt lines left by a killed writer instead of refusing the file.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -22,7 +30,10 @@ class MetricsServer:
     def __init__(self, persist_path: Optional[str] = None):
         self._records: List[MetricRecord] = []
         self._by_run: Dict[str, List[MetricRecord]] = {}
+        self._lock = threading.Lock()
+        self._persist_fh = None
         self.persist_path = Path(persist_path) if persist_path else None
+        self.skipped_lines = 0  # corrupt/torn lines ignored at load
         if self.persist_path and self.persist_path.exists():
             self._load()
 
@@ -31,21 +42,32 @@ class MetricsServer:
 
     # ------------------------------------------------------------------
     def receive(self, record: MetricRecord) -> None:
-        """Ingest one record (transmitters call this)."""
-        self._records.append(record)
-        self._by_run.setdefault(record.run_id, []).append(record)
-        if self.persist_path:
-            with self.persist_path.open("a") as fh:
-                fh.write(json.dumps(self._encode(record)) + "\n")
+        """Ingest one record (transmitters call this).  Thread-safe."""
+        with self._lock:
+            self._records.append(record)
+            self._by_run.setdefault(record.run_id, []).append(record)
+            if self.persist_path:
+                self._append(record)
 
     def receive_xml(self, xml_text: str) -> None:
         self.receive(MetricRecord.from_xml(xml_text))
 
+    def close(self) -> None:
+        """Release the persistence file handle (safe to call twice)."""
+        with self._lock:
+            if self._persist_fh is not None:
+                self._persist_fh.close()
+                self._persist_fh = None
+
     # ------------------------------------------------------------------
     def runs(self, design: Optional[str] = None) -> List[str]:
-        """Run ids, optionally restricted to one design."""
+        """Run ids in sorted order, optionally restricted to one design.
+
+        Both paths sort, so the ordering (and hence :meth:`table` row
+        order) is deterministic regardless of the arrival order of
+        records from parallel workers."""
         if design is None:
-            return list(self._by_run)
+            return sorted(self._by_run)
         return sorted(
             {r.run_id for r in self._records if r.design == design}
         )
@@ -57,7 +79,10 @@ class MetricsServer:
         metric: Optional[str] = None,
         run_id: Optional[str] = None,
     ) -> List[MetricRecord]:
-        out = self._by_run.get(run_id, self._records) if run_id else self._records
+        if run_id is not None:
+            out = self._by_run.get(run_id, [])  # unknown run -> no records
+        else:
+            out = self._records
         return [
             r
             for r in out
@@ -110,21 +135,33 @@ class MetricsServer:
             "attributes": record.attributes,
         }
 
+    def _append(self, record: MetricRecord) -> None:
+        # unbuffered binary append: one write() call per line on an
+        # O_APPEND descriptor, so concurrent writers never tear a line
+        if self._persist_fh is None:
+            self._persist_fh = open(self.persist_path, "ab", buffering=0)
+        line = json.dumps(self._encode(record)) + "\n"
+        self._persist_fh.write(line.encode())
+
     def _load(self) -> None:
         with self.persist_path.open() as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
-                data = json.loads(line)
-                record = MetricRecord(
-                    design=data["design"],
-                    run_id=data["run_id"],
-                    tool=data["tool"],
-                    metric=data["metric"],
-                    value=data["value"],
-                    sequence=data.get("sequence", 0),
-                    attributes=data.get("attributes"),
-                )
+                try:
+                    data = json.loads(line)
+                    record = MetricRecord(
+                        design=data["design"],
+                        run_id=data["run_id"],
+                        tool=data["tool"],
+                        metric=data["metric"],
+                        value=data["value"],
+                        sequence=data.get("sequence", 0),
+                        attributes=data.get("attributes"),
+                    )
+                except (ValueError, KeyError, TypeError):
+                    self.skipped_lines += 1  # torn line from a killed writer
+                    continue
                 self._records.append(record)
                 self._by_run.setdefault(record.run_id, []).append(record)

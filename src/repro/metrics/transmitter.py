@@ -58,13 +58,18 @@ class Transmitter:
             self.send(name, value)
 
     def flush(self) -> None:
-        """Deliver everything queued (XML round-trip when enabled)."""
-        for record in self._buffer:
+        """Deliver everything queued (XML round-trip when enabled).
+
+        Records leave the buffer *before* each delivery attempt, so a
+        server failure partway through a flush never re-sends the
+        records that already arrived: delivery is at-most-once.
+        """
+        while self._buffer:
+            record = self._buffer.pop(0)
             if self.use_xml:
                 self.server.receive_xml(record.to_xml())
             else:
                 self.server.receive(record)
-        self._buffer.clear()
 
     def __enter__(self) -> "Transmitter":
         return self

@@ -5,20 +5,27 @@ way the original METRICS wrapped Cadence Silicon Ensemble: every step's
 logfile metrics are extracted and transmitted, along with the option
 settings that produced them (options are first-class metrics so the
 miner can learn option -> QoR maps).
+
+Run identity is content-derived (:func:`make_run_id`): the id is a hash
+of (design, options, seed), so any process — a pool worker, a fresh
+interpreter, a resumed campaign — assigns the *same* id to the same
+flow point and *different* ids to different points.  The old
+module-level counter restarted at zero in every pool worker, which
+merged unrelated runs into one bogus run vector.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional
+import hashlib
+import json
+from typing import Optional, Union
 
 from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
+from repro.eda.netlist import Netlist
 from repro.eda.synthesis import DesignSpec
-from repro.metrics.schema import VOCABULARY
+from repro.metrics.schema import EXECUTOR_EVENT_METRICS, VOCABULARY
 from repro.metrics.server import MetricsServer
 from repro.metrics.transmitter import Transmitter
-
-_RUN_COUNTER = itertools.count()
 
 #: flow StepLog metrics -> vocabulary names
 _STEP_METRICS = {
@@ -53,6 +60,59 @@ _OPTION_METRICS = {
 }
 
 
+def make_run_id(design: Union[DesignSpec, Netlist, str], options: FlowOptions,
+                seed: int) -> str:
+    """A collision-free, process-independent run id for one flow point.
+
+    ``<design name>-<12 hex digits>`` where the digest covers the design
+    content, every option knob, and the seed.  Identical points map to
+    the same id in every process (their records merge idempotently —
+    they describe the same run); distinct points never collide.
+    """
+    if isinstance(design, str):
+        name, content = design, design
+    else:
+        from repro.core.parallel.cache import design_fingerprint
+
+        name, content = design.name, design_fingerprint(design)
+    payload = json.dumps(
+        {"design": content, "options": options.to_dict(), "seed": int(seed)},
+        sort_keys=True,
+        default=float,
+    )
+    return f"{name}-{hashlib.sha256(payload.encode()).hexdigest()[:12]}"
+
+
+def report_flow_metrics(tx: Transmitter, result: FlowResult) -> None:
+    """Transmit one completed flow run's metrics through ``tx``.
+
+    Shared by :class:`InstrumentedFlow` (in-process reporting) and the
+    executor's worker-side instrumentation (queue-backed reporting).
+    """
+    for log in result.logs:
+        for key, value in log.metrics.items():
+            vocab_name = _STEP_METRICS.get((log.step, key))
+            if vocab_name is not None:
+                tx.send(vocab_name, value)
+    # sizing work is split across several counters in the log
+    opt_logs = [log for log in result.logs if log.step == "opt"]
+    if opt_logs:
+        ops = sum(
+            log.metrics.get("upsizes", 0)
+            + log.metrics.get("downsizes", 0)
+            + log.metrics.get("vt_swaps", 0)
+            for log in opt_logs
+        )
+        tx.send("opt.sizing_ops", ops)
+    tx.send("flow.area", result.area)
+    tx.send("flow.achieved_ghz", result.achieved_ghz)
+    tx.send("flow.runtime", result.runtime_proxy)
+    tx.send("flow.success", float(result.success))
+    tx.send("flow.target_ghz", result.options.target_clock_ghz)
+    for attr, vocab_name in _OPTION_METRICS.items():
+        tx.send(vocab_name, float(getattr(result.options, attr)))
+
+
 class InstrumentedFlow:
     """An SP&R flow whose every run reports into a METRICS server."""
 
@@ -68,42 +128,23 @@ class InstrumentedFlow:
         run_id: Optional[str] = None,
     ) -> FlowResult:
         result = self.flow.run(spec, options, seed=seed)
-        run_id = run_id or f"{spec.name}-r{next(_RUN_COUNTER):06d}"
+        run_id = run_id or make_run_id(spec, options, seed)
         self.report(result, run_id)
         return result
 
     def report(self, result: FlowResult, run_id: str) -> None:
         """Extract and transmit a completed run's metrics."""
         with Transmitter(self.server, result.design, run_id, tool="spr_flow") as tx:
-            for log in result.logs:
-                for key, value in log.metrics.items():
-                    vocab_name = _STEP_METRICS.get((log.step, key))
-                    if vocab_name is not None:
-                        tx.send(vocab_name, value)
-            # sizing work is split across several counters in the log
-            opt_logs = [log for log in result.logs if log.step == "opt"]
-            if opt_logs:
-                ops = sum(
-                    log.metrics.get("upsizes", 0)
-                    + log.metrics.get("downsizes", 0)
-                    + log.metrics.get("vt_swaps", 0)
-                    for log in opt_logs
-                )
-                tx.send("opt.sizing_ops", ops)
-            tx.send("flow.area", result.area)
-            tx.send("flow.achieved_ghz", result.achieved_ghz)
-            tx.send("flow.runtime", result.runtime_proxy)
-            tx.send("flow.success", float(result.success))
-            tx.send("flow.target_ghz", result.options.target_clock_ghz)
-            for attr, vocab_name in _OPTION_METRICS.items():
-                tx.send(vocab_name, float(getattr(result.options, attr)))
+            report_flow_metrics(tx, result)
 
 
 def coverage() -> float:
-    """Fraction of the vocabulary the flow instrumentation exercises."""
+    """Fraction of the vocabulary the instrumentation exercises (flow
+    wrappers plus the executor's per-job event records)."""
     produced = set(_STEP_METRICS.values()) | set(_OPTION_METRICS.values())
     produced |= {
         "opt.sizing_ops", "flow.area", "flow.achieved_ghz", "flow.runtime",
         "flow.success", "flow.target_ghz",
     }
+    produced |= set(EXECUTOR_EVENT_METRICS)
     return len(produced & set(VOCABULARY)) / len(VOCABULARY)

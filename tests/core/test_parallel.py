@@ -73,6 +73,33 @@ def test_result_cache_corrupt_disk_entry_is_a_miss(tmp_path):
     assert cache.get("bad") is None
 
 
+def test_result_cache_unserializable_put_leaks_nothing(tmp_path):
+    """A result the disk tier cannot serialize (TypeError inside
+    json.dump) must not leave .tmp droppings or leak descriptors."""
+    cache = ResultCache(cache_dir=str(tmp_path))
+    fd_dir = "/proc/self/fd"
+    before = len(os.listdir(fd_dir)) if os.path.isdir(fd_dir) else None
+    for i in range(20):
+        cache.put(f"k{i}", object())  # not a dataclass: asdict raises
+    assert os.listdir(str(tmp_path)) == []  # no .tmp, no .json
+    assert cache.get("k0") is not None  # memory tier still served
+    if before is not None:
+        assert len(os.listdir(fd_dir)) <= before + 1  # no fd leak
+
+
+def test_result_cache_clear_disk_removes_stale_tmp(small_spec, tmp_path):
+    result = SPRFlow().run(small_spec, OPTS, seed=9)
+    cache = ResultCache(cache_dir=str(tmp_path))
+    cache.put("k", result)
+    (tmp_path / "killed-writer.tmp").write_text("{partial")
+    (tmp_path / "notes.txt").write_text("keep me")  # foreign file
+    cache.clear(disk=True)
+    assert len(cache) == 0
+    assert sorted(os.listdir(str(tmp_path))) == ["notes.txt"]
+    fresh = ResultCache(cache_dir=str(tmp_path))
+    assert fresh.get("k") is None
+
+
 # ------------------------------------------------------- executor basics
 def test_executor_matches_direct_flow(small_spec):
     direct = SPRFlow().run(small_spec, OPTS, seed=5)

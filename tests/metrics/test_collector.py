@@ -1,0 +1,193 @@
+"""Cross-process METRICS collection: run ids, QueueTransmitter,
+MetricsCollector, and the instrumented FlowExecutor path."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import FlowExecutionError, FlowExecutor, FlowJob
+from repro.eda.flow import FlowOptions
+from repro.metrics import (
+    DataMiner,
+    MetricsCollector,
+    MetricsServer,
+    QueueTransmitter,
+    make_run_id,
+)
+from repro.metrics.schema import EXECUTOR_EVENT_METRICS
+
+OPTS = FlowOptions(target_clock_ghz=0.6)
+
+
+def campaign_jobs(spec, n=8, seed=7):
+    """n distinct flow points with enough option spread for the miner."""
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        options = OPTS.with_(
+            target_clock_ghz=float(rng.uniform(0.5, 0.9)),
+            utilization=float(rng.uniform(0.55, 0.85)),
+            synth_effort=float(rng.uniform(0.2, 0.9)),
+            opt_guardband=float(rng.uniform(0.0, 50.0)),
+        )
+        jobs.append(FlowJob(spec, options, i))
+    return jobs
+
+
+# ------------------------------------------------------------------ run ids
+def test_run_id_content_derived(small_spec):
+    base = make_run_id(small_spec, OPTS, 1)
+    assert base.startswith("tiny-")
+    assert make_run_id(small_spec, OPTS, 1) == base  # same point, same id
+    assert make_run_id(small_spec, OPTS, 2) != base
+    assert make_run_id(small_spec, OPTS.with_(utilization=0.6), 1) != base
+    assert make_run_id("tiny", OPTS, 1) != ""  # plain-name form works too
+
+
+def test_run_ids_unique_across_campaign(small_spec):
+    jobs = campaign_jobs(small_spec, n=12)
+    ids = {make_run_id(j.design, j.options, j.seed) for j in jobs}
+    assert len(ids) == 12
+
+
+# ---------------------------------------------------------------- collector
+def test_collector_requires_start():
+    collector = MetricsCollector(cross_process=False)
+    with pytest.raises(RuntimeError):
+        collector.queue
+    collector.stop()  # stopping an unstarted collector is a no-op
+
+
+def test_queue_transmitter_validates_and_delivers():
+    server = MetricsServer()
+    with MetricsCollector(server, cross_process=False) as collector:
+        tx = QueueTransmitter(collector.queue, "d", "r1", "tool")
+        with pytest.raises(ValueError):
+            tx.send("garbage.name", 1.0)  # vocabulary check is inherited
+        tx.send("flow.area", 10.0)
+        tx.flush()
+        collector.flush()
+        assert len(server) == 1
+    assert server.run_vector("r1") == {"flow.area": 10.0}
+    assert collector.received == 1 and collector.dropped == 0
+
+
+def test_collector_drops_malformed_items_without_dying():
+    server = MetricsServer()
+    with MetricsCollector(server, cross_process=False) as collector:
+        collector.queue.put("<not-a-metric/>")
+        with QueueTransmitter(collector.queue, "d", "r1", "tool") as tx:
+            tx.send("flow.area", 1.0)
+        collector.flush()
+    assert collector.dropped == 1
+    assert len(server) == 1
+
+
+# ----------------------------------------------- instrumented executor runs
+def test_serial_executor_reports_into_server(small_spec):
+    server = MetricsServer()
+    jobs = campaign_jobs(small_spec, n=3)
+    with MetricsCollector(server, cross_process=False) as collector:
+        with FlowExecutor(n_workers=1, collector=collector) as executor:
+            results = executor.run_jobs(jobs)
+        collector.flush()
+    assert len(server.runs()) == 3
+    for job, result in zip(jobs, results):
+        vec = server.run_vector(make_run_id(job.design, job.options, job.seed))
+        assert vec["flow.area"] == pytest.approx(result.area)
+        assert vec["signoff.wns"] == pytest.approx(result.wns)
+        assert vec["option.utilization"] == pytest.approx(job.options.utilization)
+        for event in EXECUTOR_EVENT_METRICS:
+            assert event in vec
+        assert vec["exec.attempts"] == 1.0
+        assert vec["exec.failure"] == 0.0
+
+
+def test_cache_hits_and_dedup_are_reported(small_spec):
+    server = MetricsServer()
+    with MetricsCollector(server, cross_process=False) as collector:
+        with FlowExecutor(n_workers=1, collector=collector) as executor:
+            executor.run_jobs([FlowJob(small_spec, OPTS, 1)] * 2)  # run + dedup
+            executor.run_jobs([FlowJob(small_spec, OPTS, 1)])      # memory hit
+        collector.flush()
+    run_id = make_run_id(small_spec, OPTS, 1)
+    vec = server.run_vector(run_id)
+    # last batch served from memory; flow metrics were re-reported for it
+    assert vec["exec.cache_hit_memory"] == 1.0
+    assert "flow.area" in vec
+    dedup_records = server.query(metric="exec.dedup", run_id=run_id)
+    assert any(r.value == 1.0 for r in dedup_records)
+
+
+def test_failed_job_emits_failure_event(small_spec):
+    from tests.core.test_parallel import _crash_always
+
+    server = MetricsServer()
+    with MetricsCollector(server, cross_process=False) as collector:
+        executor = FlowExecutor(n_workers=1, flow_fn=_crash_always,
+                                max_retries=1, collector=collector)
+        outcome = executor.run_one(small_spec, OPTS, 5)
+        collector.flush()
+    assert isinstance(outcome, FlowExecutionError)
+    vec = server.run_vector(make_run_id(small_spec, OPTS, 5))
+    assert vec["exec.failure"] == 1.0
+    assert vec["exec.attempts"] == 2.0
+    assert vec["exec.retries"] == 1.0
+    assert "flow.area" not in vec  # no result, no step metrics
+
+
+def test_pool_requires_cross_process_collector(small_spec):
+    collector = MetricsCollector(cross_process=False).start()
+    executor = FlowExecutor(n_workers=2, collector=collector)
+    try:
+        with pytest.raises(ValueError):
+            executor.run_jobs([FlowJob(small_spec, OPTS, 1)])
+    finally:
+        executor.close()
+        collector.stop()
+
+
+# ------------------------------------------------------------- end to end
+def test_collector_end_to_end_two_workers(small_spec):
+    """Acceptance: an n_workers=2 campaign lands every job's step metrics
+    plus executor events in one server, under unique run ids, with
+    bit-identical QoR to serial, and the miner runs on the table."""
+    jobs = campaign_jobs(small_spec, n=8)
+    serial = FlowExecutor(n_workers=1, cache=None).run_jobs(jobs)
+
+    server = MetricsServer()
+    with MetricsCollector(server, cross_process=True) as collector:
+        with FlowExecutor(n_workers=2, cache=None,
+                          collector=collector) as executor:
+            parallel = executor.run_jobs(jobs)
+        collector.flush()
+
+    assert parallel == serial  # bit-identical QoR
+    run_ids = server.runs()
+    assert len(run_ids) == len(jobs)  # unique ids, no worker collisions
+    for job in jobs:
+        vec = server.run_vector(make_run_id(job.design, job.options, job.seed))
+        assert "flow.area" in vec and "synth.instances" in vec
+        for event in EXECUTOR_EVENT_METRICS:
+            assert event in vec
+    rec = DataMiner(server, seed=0).recommend_options(
+        "flow.area", design=small_spec.name
+    )
+    assert np.isfinite(rec.predicted_objective)
+
+
+def test_persistence_round_trip_through_collector(small_spec, tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    server = MetricsServer(persist_path=str(path))
+    jobs = campaign_jobs(small_spec, n=3)
+    with MetricsCollector(server, cross_process=False) as collector:
+        with FlowExecutor(n_workers=1, collector=collector) as executor:
+            executor.run_jobs(jobs)
+        collector.flush()
+    run_ids, names, matrix = server.table()
+    server.close()
+
+    reloaded = MetricsServer(persist_path=str(path))
+    run_ids2, names2, matrix2 = reloaded.table()
+    assert run_ids2 == run_ids
+    assert names2 == names
+    np.testing.assert_array_equal(matrix2, matrix)

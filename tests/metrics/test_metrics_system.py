@@ -83,6 +83,37 @@ def test_transmitter_validates_at_send():
         tx.send("garbage.name", 1.0)
 
 
+class _FlakyServer:
+    """Accepts records until the nth delivery, then drops the link once."""
+
+    def __init__(self, fail_on):
+        self.records = []
+        self.fail_on = fail_on
+        self.deliveries = 0
+
+    def receive_xml(self, xml):
+        self.deliveries += 1
+        if self.deliveries == self.fail_on:
+            raise ConnectionError("link dropped")
+        self.records.append(MetricRecord.from_xml(xml))
+
+
+def test_flush_is_at_most_once_on_mid_flush_failure():
+    server = _FlakyServer(fail_on=2)
+    tx = Transmitter(server, "d", "r1", "tool", buffer_size=100)
+    tx.send("flow.area", 1.0)
+    tx.send("flow.runtime", 2.0)
+    tx.send("flow.success", 3.0)
+    with pytest.raises(ConnectionError):
+        tx.flush()
+    # the first record arrived exactly once; the failed one is gone
+    # (at-most-once), and only the untouched tail remains buffered
+    assert [r.metric for r in server.records] == ["flow.area"]
+    assert [r.metric for r in tx._buffer] == ["flow.success"]
+    tx.flush()
+    assert [r.metric for r in server.records] == ["flow.area", "flow.success"]
+
+
 def test_server_queries():
     server = MetricsServer()
     with Transmitter(server, "da", "r1", "tool") as tx:
@@ -96,6 +127,41 @@ def test_server_queries():
     assert server.run_vector("r1") == {"flow.area": 1.0}
     with pytest.raises(KeyError):
         server.run_vector("nope")
+
+
+def test_query_unknown_run_returns_empty():
+    server = MetricsServer()
+    with Transmitter(server, "d", "r1", "tool") as tx:
+        tx.send("flow.area", 1.0)
+    assert server.query(run_id="nope") == []  # not everything!
+    assert server.query(run_id="nope", metric="flow.area") == []
+    assert len(server.query(run_id="r1")) == 1
+
+
+def test_runs_ordering_consistent_across_paths(tmp_path):
+    """runs() is sorted no matter the arrival order, and a reloaded
+    server agrees with the in-memory one."""
+    path = tmp_path / "metrics.jsonl"
+    server = MetricsServer(persist_path=str(path))
+    for run_id in ("r3", "r1", "r2"):  # out-of-order arrival
+        with Transmitter(server, "d", run_id, "tool") as tx:
+            tx.send("flow.area", 1.0)
+    assert server.runs() == ["r1", "r2", "r3"]
+    reloaded = MetricsServer(persist_path=str(path))
+    assert reloaded.runs() == server.runs()
+
+
+def test_server_load_skips_torn_lines(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    server = MetricsServer(persist_path=str(path))
+    with Transmitter(server, "d", "r1", "tool") as tx:
+        tx.send("flow.area", 1.0)
+    server.close()
+    with open(path, "a") as fh:
+        fh.write('{"design": "d", "ru')  # torn concurrent write
+    reloaded = MetricsServer(persist_path=str(path))
+    assert len(reloaded) == 1
+    assert reloaded.skipped_lines == 1
 
 
 def test_server_last_report_wins():
@@ -205,6 +271,56 @@ def test_adaptive_session_improves_or_matches(small_spec):
     assert session.n_seed_runs == 8
     ratio = session.improvement()
     assert ratio <= 1.1  # the loop must not make things materially worse
+
+
+def test_adaptive_session_ranks_by_configured_objective(small_spec):
+    """best_result must honor the objective, not hardcode area."""
+    session = AdaptiveFlowSession(spec=small_spec, objective="signoff.power",
+                                  seed=4)
+    best = session.run_campaign(n_seed=8, n_adaptive=2,
+                                base_options=FlowOptions(target_clock_ghz=0.8))
+    successes = [r for r in session.history if r.success]
+    assert best.power == min(r.power for r in successes)
+    assert session.improvement() <= 1.1
+
+
+def test_adaptive_session_executor_matches_serial(small_spec):
+    """An executor-backed campaign (collector, 2 workers) reproduces the
+    serial campaign bit-identically and lands worker metrics centrally."""
+    from repro.core.parallel import FlowExecutor
+    from repro.metrics import MetricsCollector
+
+    base = FlowOptions(target_clock_ghz=0.8)
+    serial = AdaptiveFlowSession(spec=small_spec, objective="flow.area", seed=4)
+    serial_best = serial.run_campaign(n_seed=8, n_adaptive=2, base_options=base)
+
+    server = MetricsServer()
+    with MetricsCollector(server, cross_process=True) as collector:
+        with FlowExecutor(n_workers=2, cache=None,
+                          collector=collector) as executor:
+            session = AdaptiveFlowSession(spec=small_spec,
+                                          objective="flow.area", seed=4,
+                                          server=server)
+            best = session.run_campaign(n_seed=8, n_adaptive=2,
+                                        base_options=base, executor=executor)
+    assert session.history == serial.history
+    assert best == serial_best
+    assert not session.failures
+    assert set(session.run_ids) <= set(server.runs())
+    # every campaign run has worker-side step metrics on the server
+    for run_id in session.run_ids:
+        assert "flow.area" in server.run_vector(run_id)
+
+
+def test_adaptive_session_rejects_foreign_collector(small_spec):
+    from repro.core.parallel import FlowExecutor
+    from repro.metrics import MetricsCollector
+
+    with MetricsCollector(MetricsServer(), cross_process=False) as collector:
+        with FlowExecutor(n_workers=1, collector=collector) as executor:
+            session = AdaptiveFlowSession(spec=small_spec)  # its own server
+            with pytest.raises(ValueError):
+                session.run_campaign(n_seed=8, executor=executor)
 
 
 def test_adaptive_session_validation(small_spec):
