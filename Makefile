@@ -4,10 +4,16 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test smoke metrics-smoke bench
+.PHONY: test lint smoke metrics-smoke bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Determinism & parallel-safety static analysis (rule catalog:
+# docs/static-analysis.md).  --strict: any finding fails, including
+# warnings and stale suppressions.
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli lint --strict src/repro
 
 # One small parallel campaign through the FlowExecutor, bounded by a
 # hard timeout: proves the process pool, the result cache and the CLI

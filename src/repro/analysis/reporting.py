@@ -1,0 +1,48 @@
+"""Render a :class:`~repro.analysis.findings.LintReport` for humans or CI."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.analysis.findings import LintReport, Severity
+
+
+def format_human(report: LintReport, verbose: bool = False) -> str:
+    """One finding per line plus a summary tail (empty tree included)."""
+    lines = [finding.format() for finding in report.findings]
+    if verbose:
+        lines.extend(finding.format() for finding in report.suppressed)
+    n_err = report.count_at_least(Severity.ERROR)
+    n_warn = sum(1 for f in report.findings
+                 if f.severity == Severity.WARNING)
+    n_info = sum(1 for f in report.findings if f.severity == Severity.INFO)
+    summary = (f"{len(report.findings)} finding(s) "
+               f"({n_err} error, {n_warn} warning, {n_info} info), "
+               f"{len(report.suppressed)} suppressed, "
+               f"{report.n_files} file(s) checked")
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_dict(report: LintReport) -> Dict[str, object]:
+    return {
+        "version": 1,
+        "files_checked": report.n_files,
+        "rules": list(report.rule_ids),
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "counts": {
+            "error": report.count_at_least(Severity.ERROR),
+            "warning": sum(1 for f in report.findings
+                           if f.severity == Severity.WARNING),
+            "info": sum(1 for f in report.findings
+                        if f.severity == Severity.INFO),
+        },
+    }
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(to_dict(report), indent=2, sort_keys=True)

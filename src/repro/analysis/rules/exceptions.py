@@ -1,0 +1,66 @@
+"""R007: bare and swallowed exception handlers.
+
+In the executor/collector paths an exception is a *result* — it lands
+in the job's slot (:class:`FlowExecutionError`), bumps a counter
+(``MetricsCollector.dropped``), or fails the batch visibly.  A bare
+``except:`` (which also eats ``KeyboardInterrupt``/``SystemExit``) or
+an ``except Exception: pass`` silently converts a broken campaign into
+wrong statistics.  Handlers must either re-raise, return/record an
+error value, or account for the drop.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleInfo, Rule, register_rule
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_swallowing_body(body) -> bool:
+    """True when the handler does nothing observable."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        if isinstance(stmt, ast.Continue):
+            continue
+        return False
+    return True
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    rule_id = "R007"
+    name = "swallowed-exception"
+    severity = Severity.ERROR
+    description = (
+        "bare except: or except Exception: pass hides failures from "
+        "the campaign trace; record, count, or re-raise"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node.lineno,
+                    "bare 'except:' also catches KeyboardInterrupt/"
+                    "SystemExit; catch Exception (and handle it) instead",
+                    col=node.col_offset,
+                )
+                continue
+            broad = (isinstance(node.type, ast.Name)
+                     and node.type.id in _BROAD)
+            if broad and _is_swallowing_body(node.body):
+                yield self.finding(
+                    module, node.lineno,
+                    f"'except {node.type.id}' swallows the failure; "
+                    f"record it (counter, error slot, log) or re-raise",
+                    col=node.col_offset,
+                    severity=Severity.WARNING,
+                )

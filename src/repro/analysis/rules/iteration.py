@@ -1,0 +1,99 @@
+"""R003: nondeterministic iteration orders feeding results.
+
+``set`` iteration order varies with insertion history and hash
+randomization; ``os.listdir``/``glob.glob`` order varies with the
+filesystem.  Any such order that reaches a result list, a metrics
+stream, or a report breaks bit-reproducibility between runs and between
+machines.  Wrap the expression in ``sorted(...)`` (cheap at these
+sizes) or iterate a deterministically-ordered container instead.
+
+The rule is syntactic: it flags iteration over expressions that are
+*provably* unordered (set literals/constructors/comprehensions,
+listdir/glob calls) when they are not consumed by an order-insensitive
+reducer (``sorted``, ``min``, ``max``, ``sum``, ``len``, ``any``,
+``all``, ``frozenset``, ``set``).  Sets held in variables are out of
+scope — the linter does not do type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import (
+    import_aliases,
+    resolve_call_target,
+    walk_with_parents,
+)
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleInfo, Rule, register_rule
+
+_UNORDERED_CALLS = {"os.listdir", "glob.glob", "glob.iglob"}
+_ORDER_INSENSITIVE = {"sorted", "min", "max", "sum", "len", "any", "all",
+                      "set", "frozenset"}
+#: consumers that materialize the (arbitrary) order into an output
+_ORDER_MATERIALIZERS = {"list", "tuple", "enumerate"}
+
+
+def _unordered_reason(node: ast.AST, aliases) -> str:
+    """Why this expression has no defined order ('' when it does)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in ("set", "frozenset"):
+            return node.func.id
+        target = resolve_call_target(node, aliases)
+        if target in _UNORDERED_CALLS:
+            return target
+    return ""
+
+
+@register_rule
+class NondeterministicIterationRule(Rule):
+    rule_id = "R003"
+    name = "nondeterministic-iteration"
+    severity = Severity.ERROR
+    description = (
+        "iterating a set / os.listdir / glob in arbitrary order feeds "
+        "nondeterminism into results; wrap in sorted(...)"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        aliases = import_aliases(module.tree)
+        for node, parents in walk_with_parents(module.tree):
+            reason = ""
+            where = node
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                reason = _unordered_reason(node.iter, aliases)
+                where = node.iter
+            elif isinstance(node, ast.comprehension):
+                reason = _unordered_reason(node.iter, aliases)
+                where = node.iter
+                # `{... for x in set(...)}` building a set/reduction is fine
+                if parents and isinstance(parents[-1], (ast.SetComp,
+                                                        ast.DictComp)):
+                    continue
+            elif isinstance(node, ast.Call):
+                reason = self._materialized_reason(node, aliases)
+            if not reason:
+                continue
+            yield self.finding(
+                module, where.lineno,
+                f"iteration over unordered '{reason}' result; wrap it in "
+                f"sorted(...) so the order is reproducible",
+                col=where.col_offset,
+            )
+
+    @staticmethod
+    def _materialized_reason(node: ast.Call, aliases) -> str:
+        """list(set(...)), tuple(os.listdir(...)), sep.join(set(...))."""
+        consumer = None
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in _ORDER_MATERIALIZERS:
+            consumer = node.func.id
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            consumer = "join"
+        if consumer is None or len(node.args) < 1:
+            return ""
+        reason = _unordered_reason(node.args[0], aliases)
+        return f"{reason}' passed to '{consumer}" if reason else ""

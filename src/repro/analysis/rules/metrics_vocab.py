@@ -1,0 +1,115 @@
+"""R006: METRICS vocabulary drift.
+
+METRICS lesson (2): one name, one meaning.  Two drift modes break it:
+
+- an emitter sends a name the schema does not define — the record is
+  rejected at transmission time, i.e. a latent runtime crash;
+- the schema defines a name nothing ever emits — dead vocabulary that
+  readers (the miner, dashboards) wait on forever.
+
+The rule resolves the vocabulary from the *linted* project's
+``metrics/schema.py`` when present (AST-extracted, so fixtures can
+carry their own mini-schema), else from the installed
+:mod:`repro.metrics.schema`.  Emitters are literal first arguments to
+``.send(...)`` / ``.record(...)`` / ``.emit(...)``; the no-emitter
+check also accepts any string literal elsewhere in the project (the
+flow wrappers route names through mapping dicts like
+``_STEP_METRICS``), and is skipped entirely when the schema module is
+not part of the linted set.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleInfo, ProjectInfo, Rule, register_rule
+
+_EMIT_METHODS = {"send", "record", "emit"}
+_NAME_RE = re.compile(r"^[a-z_]+\.[a-z_]+$")
+
+
+def _extract_vocabulary(schema: ModuleInfo) -> Optional[Dict[str, int]]:
+    """``VOCABULARY`` keys -> schema line, from the module's AST."""
+    for stmt in schema.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name) and \
+                stmt.targets[0].id == "VOCABULARY" and \
+                isinstance(stmt.value, ast.Dict):
+            return {
+                key.value: key.lineno
+                for key in stmt.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+    return None
+
+
+@register_rule
+class MetricsVocabularyRule(Rule):
+    rule_id = "R006"
+    name = "metrics-vocabulary-drift"
+    severity = Severity.ERROR
+    description = (
+        "emitted metric names must exist in the METRICS vocabulary, "
+        "and every vocabulary entry needs an emitter"
+    )
+
+    def check_project(self, project: ProjectInfo):
+        schema = None
+        for module in project.modules:
+            if module.path.endswith("metrics/schema.py"):
+                schema = module
+                break
+        vocabulary = _extract_vocabulary(schema) if schema is not None else None
+        if vocabulary is None:
+            try:
+                from repro.metrics.schema import VOCABULARY
+            except ImportError:  # pragma: no cover - repro is importable here
+                return
+            vocabulary = {name: 0 for name in VOCABULARY}
+
+        emitted: Set[str] = set()
+        referenced: Set[str] = set()
+        unknown: List[Tuple[ModuleInfo, int, str]] = []
+        for module in project.modules:
+            if schema is not None and module is schema:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Constant) and \
+                        isinstance(node.value, str) and \
+                        _NAME_RE.match(node.value):
+                    referenced.add(node.value)
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _EMIT_METHODS
+                        and node.args):
+                    continue
+                first = node.args[0]
+                if not (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)):
+                    continue
+                name = first.value
+                if not _NAME_RE.match(name):
+                    continue  # e.g. a file path; not a metric name
+                emitted.add(name)
+                if name not in vocabulary:
+                    unknown.append((module, first.lineno, name))
+
+        for module, line, name in unknown:
+            yield self.finding(
+                module, line,
+                f"metric '{name}' is not in the METRICS vocabulary "
+                f"(repro.metrics.schema.VOCABULARY); records with it are "
+                f"rejected at transmission time",
+            )
+        if schema is not None:
+            for name in sorted(vocabulary):
+                if name not in emitted and name not in referenced:
+                    yield self.finding(
+                        schema, vocabulary[name],
+                        f"vocabulary entry '{name}' has no emitter anywhere "
+                        f"in the linted tree; remove it or emit it",
+                        severity=Severity.WARNING,
+                    )

@@ -1,0 +1,69 @@
+"""R001: unseeded global random number generators.
+
+The paper's Fig 3 claim — tool noise is a *statistical* object — only
+reproduces if every stochastic component draws from an explicitly
+seeded generator that is injected into it.  ``random.random()`` and the
+``np.random.*`` module-level functions share hidden global state: two
+campaigns with the same seeds diverge the moment any code path touches
+them, and pool workers each re-seed the global independently, so the
+noise model silently changes with ``n_workers``.  Construct
+``np.random.default_rng(seed)`` / ``random.Random(seed)`` and pass the
+generator instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import import_aliases, resolve_call_target
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleInfo, Rule, register_rule
+
+#: numpy.random attributes that construct *explicit* generators — the
+#: approved way to get randomness — rather than touching global state
+_SEEDABLE_CONSTRUCTORS = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+#: stdlib ``random`` attributes that are classes, not global-state calls
+_STDLIB_CLASSES = {"Random", "SystemRandom"}
+
+
+@register_rule
+class UnseededGlobalRngRule(Rule):
+    rule_id = "R001"
+    name = "unseeded-global-rng"
+    severity = Severity.ERROR
+    description = (
+        "module-level RNG state (random.* / np.random.* functions) is "
+        "forbidden; inject a seeded random.Random or numpy Generator"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target is None:
+                continue
+            parts = target.split(".")
+            if parts[0] == "random" and len(parts) == 2:
+                if parts[1] in _STDLIB_CLASSES:
+                    continue
+                yield self.finding(
+                    module, node.lineno,
+                    f"call to global-state RNG '{target}'; use an "
+                    f"injected random.Random(seed) instead",
+                    col=node.col_offset,
+                )
+            elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+                if parts[2] in _SEEDABLE_CONSTRUCTORS:
+                    continue
+                yield self.finding(
+                    module, node.lineno,
+                    f"call to global-state RNG 'np.random.{parts[2]}'; use "
+                    f"an injected np.random.default_rng(seed) instead",
+                    col=node.col_offset,
+                )

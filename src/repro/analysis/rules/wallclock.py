@@ -1,0 +1,56 @@
+"""R004: wall-clock reads in deterministic code paths.
+
+Flow and worker code must be a pure function of (design, options,
+seed): the substrate models tool cost with a *runtime proxy*
+(``FlowResult.runtime_proxy``), so reading the host clock inside a flow
+step makes results machine- and load-dependent, and two runs of the
+same campaign stop being bit-identical.  ``time.perf_counter`` is
+deliberately **not** flagged: it measures durations for executor stats
+and never feeds a result.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import import_aliases, resolve_call_target
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleInfo, Rule, register_rule
+
+_WALL_CLOCK_CALLS = {
+    "time.time": "the runtime proxy (FlowResult.runtime_proxy)",
+    "time.time_ns": "the runtime proxy (FlowResult.runtime_proxy)",
+    "time.localtime": "an injected timestamp",
+    "time.gmtime": "an injected timestamp",
+    "time.ctime": "an injected timestamp",
+    "time.strftime": "an injected timestamp",
+    "datetime.datetime.now": "an injected timestamp",
+    "datetime.datetime.utcnow": "an injected timestamp",
+    "datetime.datetime.today": "an injected timestamp",
+    "datetime.date.today": "an injected timestamp",
+}
+
+
+@register_rule
+class WallClockRule(Rule):
+    rule_id = "R004"
+    name = "wall-clock-read"
+    severity = Severity.ERROR
+    description = (
+        "time.time()/datetime.now() make results host- and load-"
+        "dependent; use the runtime proxy or inject the timestamp"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, node.lineno,
+                    f"wall-clock read '{target}' in deterministic code; "
+                    f"use {_WALL_CLOCK_CALLS[target]}",
+                    col=node.col_offset,
+                )

@@ -1,0 +1,119 @@
+"""Inline suppressions: ``# repro: allow[R001] -- justification``.
+
+A suppression silences matching findings on its own line or on the line
+directly below (so it can sit above a long statement).  The
+justification after ``--`` is **required**: an allow-comment without one
+does not suppress anything and is itself reported (S001).  A suppression
+that silences no finding is reported as unused (S002) so stale allows
+rot out of the tree instead of hiding future regressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.analysis.findings import (
+    SUPPRESSION_NO_JUSTIFICATION,
+    UNUSED_SUPPRESSION,
+    Finding,
+    Severity,
+)
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed allow-comment."""
+
+    line: int                    # 1-based line the comment sits on
+    rule_ids: Tuple[str, ...]
+    justification: str           # "" when missing
+    used: bool = field(default=False)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        return (rule_id in self.rule_ids
+                and line in (self.line, self.line + 1))
+
+
+def find_suppressions(source: str) -> List[Suppression]:
+    """Scan a module's *comment tokens* for allow-comments, in line order.
+
+    Tokenizing (rather than grepping lines) keeps allow-examples inside
+    docstrings and string literals from being treated as suppressions.
+    """
+    out = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # unparsable tail
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        out.append(Suppression(
+            line=token.start[0],
+            rule_ids=rule_ids,
+            justification=(match.group("why") or "").strip(),
+        ))
+    return out
+
+
+def apply_suppressions(
+    findings: List[Finding], suppressions: List[Suppression], path: str
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (active, suppressed) for one file.
+
+    Also appends framework findings for malformed (S001) and unused
+    (S002) suppressions to the active list.
+    """
+    active: List[Finding] = []
+    silenced: List[Finding] = []
+    for finding in findings:
+        matched = None
+        for sup in suppressions:
+            if sup.covers(finding.rule_id, finding.line):
+                matched = sup
+                break
+        if matched is None:
+            active.append(finding)
+        elif not matched.justification:
+            matched.used = True  # it matched; it is malformed, not stale
+            active.append(finding)
+        else:
+            matched.used = True
+            silenced.append(finding.suppress(matched.justification))
+
+    for sup in suppressions:
+        if not sup.justification:
+            active.append(Finding(
+                rule_id=SUPPRESSION_NO_JUSTIFICATION,
+                severity=Severity.ERROR,
+                path=path,
+                line=sup.line,
+                message=("suppression requires a justification: "
+                         "# repro: allow[...] -- <why this is safe>"),
+            ))
+        elif not sup.used:
+            active.append(Finding(
+                rule_id=UNUSED_SUPPRESSION,
+                severity=Severity.WARNING,
+                path=path,
+                line=sup.line,
+                message=(f"unused suppression for "
+                         f"{', '.join(sup.rule_ids) or '<no rules>'}: "
+                         "no matching finding on this or the next line"),
+            ))
+    return active, silenced

@@ -19,6 +19,7 @@ sampled curves.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List
 
@@ -127,14 +128,21 @@ class RouterLogCorpus:
         return cls(logs, "cpu")
 
 
+# Base-map construction costs several seconds of synth + place + groute
+# per (n_maps, seed) point, so the maps are memoized for the life of the
+# process.  The value is deterministic in the key, so concurrent callers
+# computing it twice would agree — the lock exists so a reader never
+# observes the dict mid-resize and duplicate work is bounded.
 _CPU_MAP_CACHE = {}
+_CPU_MAP_LOCK = threading.Lock()
 
 
 def _cpu_base_maps(n_maps: int, seed: int = 0) -> List[np.ndarray]:
     """Real congestion maps: place + global-route the CPU profile."""
     key = (n_maps, seed)
-    if key in _CPU_MAP_CACHE:
-        return _CPU_MAP_CACHE[key]
+    with _CPU_MAP_LOCK:
+        if key in _CPU_MAP_CACHE:
+            return _CPU_MAP_CACHE[key]
     from repro.bench.generators import embedded_cpu_profile
     from repro.eda.floorplan import make_floorplan
     from repro.eda.library import make_default_library
@@ -152,8 +160,8 @@ def _cpu_base_maps(n_maps: int, seed: int = 0) -> List[np.ndarray]:
         placement = QuadraticPlacer().place(netlist, floorplan, int(rng.integers(0, 2**31 - 1)))
         groute = GlobalRouter().route(placement, int(rng.integers(0, 2**31 - 1)))
         maps.append(groute.congestion_map())
-    _CPU_MAP_CACHE[key] = maps
-    return maps
+    with _CPU_MAP_LOCK:
+        return _CPU_MAP_CACHE.setdefault(key, maps)
 
 
 def _add_hotspot(

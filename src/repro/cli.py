@@ -10,7 +10,9 @@ Python:
 - ``repro mab`` — the Fig 7 bandit tuning loop;
 - ``repro explore`` — GWTW trajectory exploration (Fig 5/6);
 - ``repro cost`` — ITRS design-cost projections;
-- ``repro metrics summary`` — inspect a collected METRICS JSONL file.
+- ``repro metrics summary`` — inspect a collected METRICS JSONL file;
+- ``repro lint`` — determinism & parallel-safety static analysis
+  (``--strict`` in CI; see ``docs/static-analysis.md``).
 
 ``mab`` and ``explore`` accept ``--workers N`` (parallel flow
 execution), ``--cache-dir`` (persistent result cache), and
@@ -213,6 +215,39 @@ def _cmd_metrics_summary(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        LintConfig,
+        Severity,
+        all_rules,
+        format_human,
+        format_json,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name:<28} {str(rule.severity):<8} "
+                  f"{rule.description}")
+        return 0
+    config = LintConfig(
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else (),
+        fail_on=Severity.parse(args.fail_on),
+        strict=args.strict,
+    )
+    try:
+        report = lint_paths(args.paths, config)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_human(report, verbose=args.verbose))
+    return 1 if config.fails(report) else 0
+
+
 def _cmd_cost(args) -> int:
     from repro.core.costmodel import DesignCostModel
 
@@ -297,6 +332,28 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--recommend", default=None, metavar="OBJECTIVE",
                          help="also mine an option recommendation for this objective")
     summary.set_defaults(func=_cmd_metrics_summary)
+
+    lint = sub.add_parser(
+        "lint", help="determinism & parallel-safety static analysis"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files/directories to analyze (default: src/repro)")
+    lint.add_argument("--format", choices=["human", "json"], default="human",
+                      help="output format")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero on any finding, regardless of severity")
+    lint.add_argument("--fail-on", default="error",
+                      choices=["info", "warning", "error"],
+                      help="lowest severity that fails the run (default: error)")
+    lint.add_argument("--select", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--ignore", default=None, metavar="IDS",
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also print suppressed findings")
+    lint.set_defaults(func=_cmd_lint)
 
     cost = sub.add_parser("cost", help="ITRS design-cost projection")
     cost.add_argument("--year", type=int, default=2028)

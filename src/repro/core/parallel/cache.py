@@ -162,6 +162,6 @@ class ResultCache:
         (including stale ``.tmp`` files left by killed writers)."""
         self._memory.clear()
         if disk and self.cache_dir is not None:
-            for name in os.listdir(self.cache_dir):
+            for name in sorted(os.listdir(self.cache_dir)):
                 if name.endswith(".json") or name.endswith(".tmp"):
                     os.unlink(os.path.join(self.cache_dir, name))
