@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint smoke metrics-smoke bench
+.PHONY: test lint smoke metrics-smoke stage-smoke bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -35,6 +35,14 @@ metrics-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli metrics summary \
 		--in .metrics-smoke.jsonl --design phy
 	rm -f .metrics-smoke.jsonl
+
+# Stage-prefix cache smoke: a small 2-worker router-knob sweep at a
+# fixed (design, seed).  Asserts bit-identical results with the cache
+# on and off and at least one prefix hit (more jobs than workers, so a
+# worker-local cache must serve a shared prefix).
+stage-smoke:
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/stage_cache_benchmark.py --smoke --workers 2
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -28,7 +28,9 @@ from repro.analysis.findings import Severity
 from repro.analysis.registry import ModuleInfo, ProjectInfo, Rule, register_rule
 
 _EMIT_METHODS = {"send", "record", "emit"}
-_NAME_RE = re.compile(r"^[a-z_]+\.[a-z_]+$")
+# kept in sync with repro.metrics.schema._NAME_RE: one or more
+# dot-separated segments after the first (stage events have three)
+_NAME_RE = re.compile(r"^[a-z_]+(\.[a-z_]+)+$")
 
 
 def _extract_vocabulary(schema: ModuleInfo) -> Optional[Dict[str, int]]:

@@ -116,7 +116,8 @@ def _make_executor(args):
             cross_process=args.workers > 1,
         )
     return FlowExecutor(n_workers=args.workers, cache=True,
-                        cache_dir=args.cache_dir, collector=collector)
+                        cache_dir=args.cache_dir, collector=collector,
+                        stage_cache=getattr(args, "stage_cache", False))
 
 
 def _finish_metrics(executor, args) -> None:
@@ -248,6 +249,64 @@ def _cmd_lint(args) -> int:
     return 1 if config.fails(report) else 0
 
 
+def _cmd_cache_stats(args) -> int:
+    import json
+    import os
+
+    from repro.core.parallel import CACHE_SCHEMA
+
+    if not os.path.isdir(args.dir):
+        print(f"cache stats: no such directory: {args.dir}", file=sys.stderr)
+        return 1
+    entries = 0
+    corrupt = 0
+    by_schema = {}
+    for name in sorted(os.listdir(args.dir)):
+        if not name.endswith(".json") or name == "cache-stats.json":
+            continue
+        try:
+            with open(os.path.join(args.dir, name)) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            corrupt += 1
+            continue
+        entries += 1
+        version = data.get("schema", 1)  # pre-versioning entries are v1
+        by_schema[version] = by_schema.get(version, 0) + 1
+    print(f"{args.dir}: {entries} disk entries (current schema {CACHE_SCHEMA})")
+    for version in sorted(by_schema):
+        usable = "usable" if version == CACHE_SCHEMA else "stale -> treated as misses"
+        print(f"  schema {version}: {by_schema[version]} entries ({usable})")
+    if corrupt:
+        print(f"  {corrupt} unreadable entries (treated as misses)")
+
+    stats_path = os.path.join(args.dir, "cache-stats.json")
+    try:
+        with open(stats_path) as fh:
+            stats = json.load(fh)
+    except (OSError, ValueError):
+        print("no cache-stats.json (no campaign has closed an executor "
+              "over this directory yet)")
+        return 0
+    print(f"accumulated campaign stats ({stats_path}):")
+    print(f"  jobs: {stats.get('jobs_submitted', 0)} submitted, "
+          f"{stats.get('jobs_run', 0)} run, {stats.get('deduped', 0)} deduped")
+    print(f"  whole-run hits: memory={stats.get('cache_hits_memory', 0)} "
+          f"disk={stats.get('cache_hits_disk', 0)}")
+    print(f"  stage prefix:   hits={stats.get('stage_hits', 0)} "
+          f"misses={stats.get('stage_misses', 0)}")
+    hits_by_stage = stats.get("stage_hits_by_stage", {}) or {}
+    misses_by_stage = stats.get("stage_misses_by_stage", {}) or {}
+    for stage in sorted(set(hits_by_stage) | set(misses_by_stage)):
+        print(f"    {stage:<16} hits={hits_by_stage.get(stage, 0):<6} "
+              f"misses={misses_by_stage.get(stage, 0)}")
+    total = stats.get("runtime_proxy_total", 0.0)
+    executed = stats.get("runtime_proxy_executed", 0.0)
+    print(f"  work: delivered={total:.0f} executed={executed:.0f} "
+          f"saved={total - executed:.0f} units")
+    return 0
+
+
 def _cmd_cost(args) -> int:
     from repro.core.costmodel import DesignCostModel
 
@@ -303,6 +362,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for the on-disk result-cache tier")
     mab.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="collect METRICS records from every run into this JSONL file")
+    mab.add_argument("--stage-cache", action="store_true",
+                     help="enable the stage-prefix cache (resume flow jobs "
+                          "from the deepest cached pipeline prefix)")
     mab.set_defaults(func=_cmd_mab)
 
     explore = sub.add_parser(
@@ -318,6 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for the on-disk result-cache tier")
     explore.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="collect METRICS records from every run into this JSONL file")
+    explore.add_argument("--stage-cache", action="store_true",
+                         help="enable the stage-prefix cache (resume flow jobs "
+                              "from the deepest cached pipeline prefix)")
     explore.set_defaults(func=_cmd_explore)
 
     metrics = sub.add_parser("metrics", help="inspect collected METRICS data")
@@ -332,6 +397,15 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--recommend", default=None, metavar="OBJECTIVE",
                          help="also mine an option recommendation for this objective")
     summary.set_defaults(func=_cmd_metrics_summary)
+
+    cache = sub.add_parser("cache", help="inspect flow-result cache directories")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts, schema versions, and per-stage hit counters"
+    )
+    cache_stats.add_argument("--dir", required=True, metavar="DIR",
+                             help="cache directory (the executor's cache_dir)")
+    cache_stats.set_defaults(func=_cmd_cache_stats)
 
     lint = sub.add_parser(
         "lint", help="determinism & parallel-safety static analysis"

@@ -145,6 +145,13 @@ class FlowArmEnvironment(BanditEnvironment):
         Seeds are drawn from the environment rng in slot order before
         any run launches, so outcomes are bit-identical to serial
         :meth:`pull` calls regardless of worker count.
+
+        Stage-cache note: because every pull gets a fresh seed (the
+        bit-identity contract above), an executor's ``stage_cache=True``
+        can only reuse prefixes across *identical* ``(options, seed)``
+        pulls here; the executor still reports per-job
+        ``exec.stage.*`` accounting when it is on.  Fixed-seed
+        suffix-knob sweeps are the access pattern it accelerates.
         """
         if executor is None:
             return [self.pull(arm) for arm in arms]

@@ -26,7 +26,14 @@ from repro.eda.synthesis import DesignSpec
 
 @dataclass
 class ExplorationResult:
-    """Outcome of a trajectory-space search."""
+    """Outcome of a trajectory-space search.
+
+    ``runtime_proxy_executed``/``stage_hits`` report the executor's
+    saved-work accounting for this exploration (deltas over the
+    campaign): with the stage-prefix cache on, executed work is the
+    changed-suffix cost only, so ``total_runtime_proxy -
+    runtime_proxy_executed`` is what prefix reuse saved.
+    """
 
     best_result: Optional[FlowResult]
     best_score: float
@@ -36,6 +43,8 @@ class ExplorationResult:
     score_trace: List[float] = field(default_factory=list)
     n_failed: int = 0
     failures: List[FlowExecutionError] = field(default_factory=list)
+    runtime_proxy_executed: float = 0.0
+    stage_hits: int = 0
 
 
 def default_score(result: FlowResult) -> float:
@@ -60,6 +69,15 @@ class TrajectoryExplorer:
     revisited trajectory points.  Without one, a private serial
     executor is used; results are bit-identical either way because
     run seeds are pre-drawn in slot order before any run launches.
+
+    Stage-cache note: the explorer draws a fresh seed per slot per
+    round (required for bit-identity with the historical serial loop),
+    and a new seed changes every stage's derived step seeds — so an
+    executor's ``stage_cache=True`` only pays off here on revisited
+    ``(trajectory, seed)`` points, like the whole-run cache.  The big
+    wins belong to fixed-seed suffix-knob sweeps (see
+    ``benchmarks/stage_cache_benchmark.py``); the saved-work deltas are
+    still reported either way.
     """
 
     def __init__(
@@ -89,6 +107,8 @@ class TrajectoryExplorer:
     def explore(self, spec: DesignSpec, seed: int = 0) -> ExplorationResult:
         rng = np.random.default_rng(seed)
         executor = self.executor or FlowExecutor(n_workers=1)
+        executed_before = executor.stats.runtime_proxy_executed
+        stage_hits_before = executor.stats.stage_hits
         trajectories = [self.tree.sample(rng) for _ in range(self.n_concurrent)]
         result = ExplorationResult(
             best_result=None, best_score=-np.inf, n_runs=0, n_pruned=0,
@@ -128,6 +148,10 @@ class TrajectoryExplorer:
             while len(trajectories) < self.n_concurrent:
                 donor = survivors[int(rng.integers(0, len(survivors)))]
                 trajectories.append(self._perturb(donor, rng))
+        result.runtime_proxy_executed = (
+            executor.stats.runtime_proxy_executed - executed_before
+        )
+        result.stage_hits = executor.stats.stage_hits - stage_hits_before
         return result
 
     def _perturb(self, trajectory: Dict, rng: np.random.Generator) -> Dict:

@@ -15,6 +15,17 @@ options dict, seed).  Any change to the design content, any option
 knob, or the seed produces a different key; renaming a design *does*
 change its key (the design name is part of the reported result, so two
 names must not share one cached ``FlowResult``).
+
+Disk entries carry a ``schema`` version (:data:`CACHE_SCHEMA`).  An
+entry whose version is missing or mismatched — e.g. written before the
+staged-pipeline refactor, or by a newer layout — is treated as a miss
+instead of deserializing a stale layout into current dataclasses.
+
+Whole-run caching is complemented by the *stage-prefix* tier
+(:class:`~repro.eda.stages.cache.StageCache`, re-exported here): keys
+over the knob subsets and step seeds of a pipeline prefix, letting a
+job that differs only in downstream knobs resume from its deepest
+cached stage snapshot.  See ``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +41,12 @@ from typing import Dict, Optional, Union
 from repro.eda.flow import FlowOptions, FlowResult, StepLog
 from repro.eda.netlist import Netlist
 from repro.eda.synthesis import DesignSpec
+
+#: disk-entry layout version.  Bump whenever the serialized FlowResult
+#: layout changes; readers treat any other version as a miss.  Version
+#: history: 1 = unversioned pre-staged-pipeline entries (implicitly),
+#: 2 = versioned entries introduced with the staged pipeline.
+CACHE_SCHEMA = 2
 
 
 def design_fingerprint(design: Union[DesignSpec, Netlist]) -> str:
@@ -125,7 +142,10 @@ class ResultCache:
             if os.path.exists(path):
                 try:
                     with open(path) as fh:
-                        result = flow_result_from_dict(json.load(fh))
+                        data = json.load(fh)
+                    if data.pop("schema", None) != CACHE_SCHEMA:
+                        return None  # stale or future layout: a miss
+                    result = flow_result_from_dict(data)
                 except (ValueError, KeyError, TypeError):
                     return None  # corrupt entry: treat as a miss
                 self._insert_memory(key, result)
@@ -143,7 +163,8 @@ class ResultCache:
                 # so an unserializable result leaks neither the
                 # descriptor nor (see finally) the temp file
                 with os.fdopen(fd, "w") as fh:
-                    json.dump(flow_result_to_dict(result), fh)
+                    json.dump(dict(flow_result_to_dict(result),
+                                   schema=CACHE_SCHEMA), fh)
                 os.replace(tmp, path)
             except (OSError, TypeError, ValueError):
                 pass  # a failed disk write must not fail the campaign
@@ -165,3 +186,27 @@ class ResultCache:
             for name in sorted(os.listdir(self.cache_dir)):
                 if name.endswith(".json") or name.endswith(".tmp"):
                     os.unlink(os.path.join(self.cache_dir, name))
+
+
+# the stage-prefix cache tier lives with the stage definitions (its keys
+# are derived from per-stage knob subsets); re-exported here so
+# repro.core.parallel is the one-stop caching namespace
+from repro.eda.stages.cache import (  # noqa: E402  (re-export)
+    StageCache,
+    configure_stage_cache,
+    get_stage_cache,
+    stage_prefix_keys,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "StageCache",
+    "cache_key",
+    "configure_stage_cache",
+    "design_fingerprint",
+    "flow_result_from_dict",
+    "flow_result_to_dict",
+    "get_stage_cache",
+    "stage_prefix_keys",
+]

@@ -25,13 +25,22 @@ records (cache tier, dedup, retries, timeouts, wall time) — see
 from __future__ import annotations
 
 import concurrent.futures
+import json
+import os
+import tempfile
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.parallel.cache import ResultCache, cache_key
+from repro.core.parallel.cache import CACHE_SCHEMA, ResultCache, cache_key
 from repro.eda.flow import FlowOptions, FlowResult, SPRFlow, _default_library
 from repro.eda.netlist import Netlist
+from repro.eda.stages.cache import configure_stage_cache
+from repro.eda.stages.runner import (
+    StagedJobOutcome,
+    StageReport,
+    run_flow_job_staged,
+)
 from repro.eda.synthesis import DesignSpec
 
 Design = Union[DesignSpec, Netlist]
@@ -75,6 +84,13 @@ class ExecutorStats:
     ``runtime_proxy_total`` is the summed simulated tool cost of the
     results delivered (including cached ones) — their ratio is the
     work-delivered-per-second the parallel+cache machinery achieves.
+    ``runtime_proxy_executed`` is the subset of that cost actually
+    *paid* this campaign: a whole-run cache hit or dedup contributes 0,
+    a stage-cache prefix resume contributes only its suffix — so
+    ``runtime_proxy_total - runtime_proxy_executed`` is the work the
+    caches saved.  ``stage_hits``/``stage_misses`` count pipeline
+    stages served from / executed past the stage-prefix cache, with
+    per-stage breakdowns in the ``*_by_stage`` dicts.
     """
 
     jobs_submitted: int = 0
@@ -87,6 +103,11 @@ class ExecutorStats:
     timeouts: int = 0
     wall_time_s: float = 0.0
     runtime_proxy_total: float = 0.0
+    runtime_proxy_executed: float = 0.0
+    stage_hits: int = 0
+    stage_misses: int = 0
+    stage_hits_by_stage: Dict[str, int] = field(default_factory=dict)
+    stage_misses_by_stage: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -99,7 +120,7 @@ class ExecutorStats:
         return (self.cache_hits + self.deduped) / self.jobs_submitted
 
     def summary(self) -> str:
-        return (
+        line = (
             f"jobs={self.jobs_submitted} run={self.jobs_run} "
             f"cache_hits={self.cache_hits} (mem={self.cache_hits_memory} "
             f"disk={self.cache_hits_disk} dedup={self.deduped}, "
@@ -108,12 +129,23 @@ class ExecutorStats:
             f"wall={self.wall_time_s:.2f}s "
             f"work_delivered={self.runtime_proxy_total:.0f} units"
         )
+        if self.stage_hits or self.stage_misses:
+            line += (
+                f" stage_hits={self.stage_hits} stage_misses={self.stage_misses} "
+                f"work_executed={self.runtime_proxy_executed:.0f} units"
+            )
+        return line
 
 
-def _worker_init() -> None:
+def _worker_init(stage_cache_entries: Optional[int] = None) -> None:
     """Per-worker-process initializer: build the shared default library
-    eagerly so no worker races the lazy global on first use."""
+    eagerly so no worker races the lazy global on first use, and (when
+    stage caching is on) give the worker its own process-local stage
+    cache — prefix snapshots are reused across the jobs each worker
+    executes, with no cross-process traffic."""
     _default_library()
+    if stage_cache_entries is not None:
+        configure_stage_cache(stage_cache_entries)
 
 
 def run_flow_job(design: Design, options: FlowOptions, seed: int,
@@ -165,6 +197,18 @@ class FlowExecutor:
         (:func:`~repro.metrics.make_run_id`), so identical jobs share
         one id and distinct jobs never collide across workers.  With
         ``n_workers > 1`` the collector must be ``cross_process=True``.
+    stage_cache:
+        enable the stage-prefix cache: jobs run through the staged
+        pipeline and resume from the deepest cached prefix snapshot,
+        re-running only the changed suffix (see ``docs/parallel.md``).
+        Serial mode shares one process-global
+        :class:`~repro.eda.stages.cache.StageCache` (reset when the
+        executor is constructed); pool mode gives each worker its own.
+        Only the default ``flow_fn`` is stage-aware — injecting a
+        custom ``flow_fn`` bypasses staging.
+    stage_cache_entries:
+        LRU capacity of the stage cache (pipeline-state snapshots held
+        per process).
     """
 
     def __init__(
@@ -176,6 +220,8 @@ class FlowExecutor:
         max_retries: int = 1,
         flow_fn: Optional[Callable[..., FlowResult]] = None,
         collector=None,
+        stage_cache: bool = False,
+        stage_cache_entries: int = 64,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -183,6 +229,8 @@ class FlowExecutor:
             raise ValueError("timeout_s must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if stage_cache_entries < 1:
+            raise ValueError("stage_cache_entries must be >= 1")
         self.n_workers = n_workers
         if cache is True:
             cache = ResultCache(cache_dir=cache_dir)
@@ -195,14 +243,21 @@ class FlowExecutor:
         self.max_retries = max_retries
         self.flow_fn = flow_fn or run_flow_job
         self.collector = collector
+        self.stage_cache = stage_cache
+        self.stage_cache_entries = stage_cache_entries
         self.stats = ExecutorStats()
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._cache_stats_persisted = False
+        if stage_cache and n_workers == 1:
+            configure_stage_cache(stage_cache_entries)
 
     # ------------------------------------------------------------ lifecycle
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
+            initargs = (self.stage_cache_entries if self.stage_cache else None,)
             self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.n_workers, initializer=_worker_init
+                max_workers=self.n_workers, initializer=_worker_init,
+                initargs=initargs,
             )
         return self._pool
 
@@ -215,6 +270,57 @@ class FlowExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._persist_cache_stats()
+
+    def _persist_cache_stats(self) -> None:
+        """Merge this executor's cache accounting into
+        ``<cache_dir>/cache-stats.json`` (read by ``repro cache stats``).
+        Counters are summed into any prior file so sequential campaigns
+        over one cache directory accumulate; written at most once per
+        executor, atomically, and never fails the campaign."""
+        if (self.cache is None or self.cache.cache_dir is None
+                or self._cache_stats_persisted):
+            return
+        self._cache_stats_persisted = True
+        path = os.path.join(self.cache.cache_dir, "cache-stats.json")
+        payload = {
+            "jobs_submitted": self.stats.jobs_submitted,
+            "jobs_run": self.stats.jobs_run,
+            "cache_hits_memory": self.stats.cache_hits_memory,
+            "cache_hits_disk": self.stats.cache_hits_disk,
+            "deduped": self.stats.deduped,
+            "stage_hits": self.stats.stage_hits,
+            "stage_misses": self.stats.stage_misses,
+            "stage_hits_by_stage": dict(self.stats.stage_hits_by_stage),
+            "stage_misses_by_stage": dict(self.stats.stage_misses_by_stage),
+            "runtime_proxy_total": self.stats.runtime_proxy_total,
+            "runtime_proxy_executed": self.stats.runtime_proxy_executed,
+        }
+        try:
+            try:
+                with open(path) as fh:
+                    prior = json.load(fh)
+            except (OSError, ValueError):
+                prior = {}
+            for key, value in payload.items():
+                if isinstance(value, dict):
+                    merged = dict(prior.get(key, {}) or {})
+                    for stage, count in value.items():
+                        merged[stage] = merged.get(stage, 0) + count
+                    payload[key] = merged
+                else:
+                    payload[key] = value + prior.get(key, 0)
+            payload["schema"] = CACHE_SCHEMA
+            fd, tmp = tempfile.mkstemp(dir=self.cache.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except (OSError, TypeError, ValueError):
+            pass  # stats persistence must not fail the campaign
 
     def __enter__(self) -> "FlowExecutor":
         return self
@@ -242,6 +348,12 @@ class FlowExecutor:
         hit_tier: List[Optional[str]] = [None] * len(jobs)
         deduped: List[bool] = [False] * len(jobs)
         job_attempts: List[int] = [0] * len(jobs)
+        stage_reports: List[Optional[StageReport]] = [None] * len(jobs)
+        executed_work: List[float] = [0.0] * len(jobs)
+        # only the default job function is stage-aware; an injected
+        # flow_fn (test stand-ins) keeps its exact call contract
+        staged = self.stage_cache and self.flow_fn is run_flow_job
+        job_fn = run_flow_job_staged if staged else self.flow_fn
 
         # cache lookups + within-batch dedup
         to_run: List[int] = []        # job indices that must execute
@@ -272,12 +384,12 @@ class FlowExecutor:
         if run_ids is None:
             tasks = [(jobs[i].design, jobs[i].options, jobs[i].seed, stop_callback)
                      for i in to_run]
-            fn = None
+            fn = job_fn if staged else None
         else:
             # workers report step metrics themselves, through the queue
             from repro.metrics.collector import run_instrumented_flow_job
 
-            tasks = [(self.collector.queue, run_ids[i], self.flow_fn,
+            tasks = [(self.collector.queue, run_ids[i], job_fn,
                       jobs[i].design, jobs[i].options, jobs[i].seed, stop_callback)
                      for i in to_run]
             fn = run_instrumented_flow_job
@@ -285,21 +397,39 @@ class FlowExecutor:
         executed = self._execute(tasks, indices=to_run, fn=fn,
                                  attempts_out=attempts_out)
         for i, outcome, n_attempts in zip(to_run, executed, attempts_out):
+            if isinstance(outcome, StagedJobOutcome):
+                stage_reports[i] = outcome.report
+                outcome = outcome.result
             results[i] = outcome
             job_attempts[i] = n_attempts
-            if isinstance(outcome, FlowResult) and self.cache is not None:
-                self.cache.put(keys[i], outcome)
+            if isinstance(outcome, FlowResult):
+                report = stage_reports[i]
+                executed_work[i] = (report.executed_proxy if report is not None
+                                    else outcome.runtime_proxy)
+                if self.cache is not None:
+                    self.cache.put(keys[i], outcome)
             for j in followers.get(i, ()):
                 results[j] = outcome
 
-        for outcome in results:
+        for i, outcome in enumerate(results):
             if isinstance(outcome, FlowResult):
                 self.stats.runtime_proxy_total += outcome.runtime_proxy
+            self.stats.runtime_proxy_executed += executed_work[i]
+            report = stage_reports[i]
+            if report is not None:
+                self.stats.stage_hits += report.n_hits
+                self.stats.stage_misses += report.n_misses
+                for name in report.hit_stages:
+                    self.stats.stage_hits_by_stage[name] = \
+                        self.stats.stage_hits_by_stage.get(name, 0) + 1
+                for name in report.run_stages:
+                    self.stats.stage_misses_by_stage[name] = \
+                        self.stats.stage_misses_by_stage.get(name, 0) + 1
         wall = time.perf_counter() - t0
         self.stats.wall_time_s += wall
         if run_ids is not None:
             self._report_batch(jobs, run_ids, results, hit_tier, deduped,
-                               job_attempts, wall)
+                               job_attempts, wall, stage_reports, executed_work)
         return results  # type: ignore[return-value]
 
     def run_one(
@@ -337,15 +467,21 @@ class FlowExecutor:
         return [make_run_id(job.design, job.options, job.seed) for job in jobs]
 
     def _report_batch(self, jobs, run_ids, results, hit_tier, deduped,
-                      job_attempts, wall: float) -> None:
+                      job_attempts, wall: float, stage_reports=None,
+                      executed_work=None) -> None:
         """Emit per-job executor-event records, and re-report cache-served
         results whose step metrics may predate this server (disk tier)."""
         from repro.metrics.collector import QueueTransmitter
         from repro.metrics.wrappers import report_flow_metrics
 
+        if stage_reports is None:
+            stage_reports = [None] * len(jobs)
+        if executed_work is None:
+            executed_work = [0.0] * len(jobs)
         for i, job in enumerate(jobs):
             outcome = results[i]
             failed = isinstance(outcome, FlowExecutionError)
+            report = stage_reports[i]
             design_name = job.design.name
             with QueueTransmitter(self.collector.queue, design_name,
                                   run_ids[i], tool="flow_executor") as tx:
@@ -360,6 +496,11 @@ class FlowExecutor:
                 tx.send("exec.runtime_proxy",
                         0.0 if failed else outcome.runtime_proxy)
                 tx.send("exec.wall_time", wall)
+                tx.send("exec.stage.hit",
+                        float(report.n_hits if report is not None else 0))
+                tx.send("exec.stage.miss",
+                        float(report.n_misses if report is not None else 0))
+                tx.send("stage.runtime_proxy", float(executed_work[i]))
             if hit_tier[i] is not None and not failed:
                 with QueueTransmitter(self.collector.queue, design_name,
                                       run_ids[i], tool="spr_flow") as tx:

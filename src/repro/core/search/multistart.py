@@ -66,7 +66,9 @@ class AdaptiveMultistart:
         and per-search child seeds are drawn serially first, so results
         are identical at any worker count (but differ from the
         executor-less path, which threads one rng through every
-        search)."""
+        search).  Local searches go through ``executor.map`` — generic
+        tasks with no content key — so neither the result cache nor the
+        stage-prefix cache applies to them."""
         rng = np.random.default_rng(seed)
         pool: List[np.ndarray] = []
         costs: List[float] = []

@@ -1,0 +1,92 @@
+"""Stage protocol and the artifact state flowing between stages.
+
+A :class:`FlowStage` is one tool invocation of the SP&R pipeline.  It
+declares, as class attributes, everything the caching layer needs to
+reason about it without running it:
+
+- ``knobs``: exactly which :class:`~repro.eda.flow.FlowOptions` fields
+  the stage reads.  Two option points whose knob values agree on every
+  stage of a prefix produce bit-identical artifacts for that prefix —
+  the invariant behind prefix cache keys.
+- ``n_seeds``: how many step seeds the stage consumes from the flow's
+  seed stream (the runner pre-draws them in the monolith's historical
+  order, so staging never perturbs the rng stream).
+- ``cacheable``: whether the state *after* this stage is worth
+  snapshotting (the terminal stage produces only the final result, so
+  caching it would duplicate the whole-run :class:`ResultCache`).
+
+Stages communicate only through :class:`PipelineState` fields — the
+explicit intermediate artifacts (netlist, floorplan, placement, clock
+tree, congestion map, ...) that per-stage tools like iEDA exchange as
+files.  ``state.result`` accumulates the step logs and QoR fields
+exactly as the monolithic flow did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eda.cts import ClockTreeResult
+from repro.eda.flow import FlowOptions, FlowResult
+from repro.eda.floorplan import Floorplan
+from repro.eda.netlist import Netlist
+from repro.eda.opt import OptResult
+from repro.eda.placement import Placement
+from repro.eda.routing import DetailedRouteResult, GlobalRouteResult
+from repro.eda.synthesis import DesignSpec
+
+
+@dataclass
+class PipelineState:
+    """Every artifact a stage may consume or produce.
+
+    Fields are filled in pipeline order; a stage may rely on the
+    artifacts of every stage before it.  Note the aliasing contract:
+    ``placement.netlist`` *is* ``netlist`` (the optimizer resizes cells
+    in place and signoff sees the resized design through either
+    reference), so snapshots must be deep-copied with a shared memo —
+    ``copy.deepcopy`` of the whole state preserves this.
+    """
+
+    result: FlowResult
+    spec: Optional[DesignSpec] = None  # set for full-flow (synthesis) entries
+    netlist: Optional[Netlist] = None
+    floorplan: Optional[Floorplan] = None
+    placement: Optional[Placement] = None
+    clock_tree: Optional[ClockTreeResult] = None
+    groute: Optional[GlobalRouteResult] = None
+    congestion: Optional[np.ndarray] = None
+    opt: Optional[OptResult] = None
+    droute: Optional[DetailedRouteResult] = None
+
+
+class FlowStage:
+    """One stage of the SP&R pipeline (see module docstring)."""
+
+    name: str = ""
+    #: the FlowOptions fields this stage reads, in canonical key order
+    knobs: Tuple[str, ...] = ()
+    #: step seeds consumed from the flow's seed stream
+    n_seeds: int = 0
+    #: snapshot the post-stage state into the stage cache?
+    cacheable: bool = True
+
+    def knob_values(self, options: FlowOptions) -> Dict[str, object]:
+        """The stage's slice of the option point (for prefix keys)."""
+        return {knob: getattr(options, knob) for knob in self.knobs}
+
+    def run(
+        self,
+        state: PipelineState,
+        options: FlowOptions,
+        seeds: Sequence[int],
+        stop_callback=None,
+    ) -> None:
+        """Execute the stage, mutating ``state`` (artifacts + logs)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} knobs={self.knobs}>"

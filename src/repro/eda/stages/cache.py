@@ -1,0 +1,144 @@
+"""Prefix-keyed stage caching: pay only for the changed suffix.
+
+The whole-run :class:`~repro.core.parallel.ResultCache` hits only on
+*exact* ``(design, options, seed)`` repeats.  Campaign moves, though,
+mostly perturb downstream knobs — so the synth/floorplan/place prefix
+is recomputed identically thousands of times.  A *stage prefix key*
+hashes everything that can influence the pipeline state up to and
+including one stage:
+
+- the design fingerprint and entry kind (full flow vs. implement-only),
+- for every stage of the prefix, in order: its name, its declared knob
+  subset's values, and its derived step seeds.
+
+Knobs a stage does not declare cannot change its output, so two jobs
+that agree on a prefix's knob slices and seeds share that prefix's
+state bit-for-bit — the cached :class:`PipelineState` snapshot can be
+resumed from directly.
+
+Snapshots are deep-copied on both ``put`` and ``get`` because later
+stages mutate artifacts in place (the optimizer resizes netlist cells,
+the refiner moves placements); ``copy.deepcopy`` of the whole state
+preserves the ``placement.netlist is netlist`` aliasing signoff relies
+on.
+
+One process-global instance (:func:`configure_stage_cache` /
+:func:`get_stage_cache`) serves :func:`run_flow_job_staged` so pool
+workers — which receive jobs as picklable tuples — can share hits
+across the jobs they execute without any cross-process traffic.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Union
+
+from repro.eda.flow import FlowOptions
+from repro.eda.netlist import Netlist
+from repro.eda.stages.base import PipelineState
+from repro.eda.synthesis import DesignSpec
+
+
+def stage_prefix_keys(
+    design: Union[DesignSpec, Netlist], options: FlowOptions, seed: int
+) -> List[str]:
+    """One key per pipeline stage, each covering the prefix ending there."""
+    # lazy imports: core.parallel.cache imports repro.eda.flow, and the
+    # runner imports this module — both would cycle at import time
+    from repro.core.parallel.cache import design_fingerprint
+    from repro.eda.stages.runner import plan_stages
+
+    kind, stages, stage_seeds = plan_stages(design, seed)
+    fingerprint = design_fingerprint(design)
+    prefix: List[Dict] = []
+    keys: List[str] = []
+    for stage, seeds in zip(stages, stage_seeds):
+        prefix.append({
+            "stage": stage.name,
+            "knobs": stage.knob_values(options),
+            "seeds": [int(s) for s in seeds],
+        })
+        payload = json.dumps(
+            {"design": fingerprint, "entry": kind, "stages": prefix},
+            sort_keys=True, default=float,
+        )
+        keys.append(hashlib.sha256(payload.encode()).hexdigest())
+    return keys
+
+
+class StageCache:
+    """In-memory LRU of :class:`PipelineState` snapshots by prefix key.
+
+    Thread-safe (one lock around the LRU and the counters); entries are
+    deep-copied in both directions so callers can never mutate a cached
+    snapshot.  ``hits``/``misses`` count probes per stage name — the
+    campaign-level saved-work accounting instead travels with each job
+    in its :class:`~repro.eda.stages.runner.StageReport`.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, PipelineState]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+        self.puts: int = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str, stage_name: str) -> Optional[PipelineState]:
+        with self._lock:
+            state = self._entries.get(key)
+            if state is None:
+                self.misses[stage_name] = self.misses.get(stage_name, 0) + 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits[stage_name] = self.hits.get(stage_name, 0) + 1
+            return copy.deepcopy(state)
+
+    def put(self, key: str, stage_name: str, state: PipelineState) -> None:
+        snapshot = copy.deepcopy(state)
+        with self._lock:
+            self._entries[key] = snapshot
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            self.puts += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits.clear()
+            self.misses.clear()
+            self.puts = 0
+
+
+_STAGE_CACHE: Optional[StageCache] = None
+_STAGE_CACHE_LOCK = threading.Lock()
+
+
+def configure_stage_cache(max_entries: int = 64) -> StageCache:
+    """(Re)create the process-global stage cache.
+
+    Called by the executor at construction (serial mode) or in each
+    worker's initializer (pool mode).  Reconfiguring drops prior
+    entries — harmless for correctness (entries are only ever reused,
+    never required) and it keeps hit accounting per campaign.
+    """
+    global _STAGE_CACHE
+    with _STAGE_CACHE_LOCK:
+        _STAGE_CACHE = StageCache(max_entries=max_entries)
+        return _STAGE_CACHE
+
+
+def get_stage_cache() -> Optional[StageCache]:
+    """The process-global stage cache, or None when never configured."""
+    return _STAGE_CACHE

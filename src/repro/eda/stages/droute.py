@@ -1,0 +1,73 @@
+"""Detailed-routing + signoff stage: the pipeline terminal.
+
+Routing and signoff share one stage because nothing downstream consumes
+their artifacts — the stage's product *is* the finished
+:class:`~repro.eda.flow.FlowResult` (QoR fields, final logs), which the
+whole-run :class:`~repro.core.parallel.ResultCache` already keys, so
+``cacheable`` is False: snapshotting post-terminal state would store
+every full result twice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eda.flow import FlowOptions, StepLog
+from repro.eda.power import estimate_power, ir_drop_analysis
+from repro.eda.routing import DetailedRouter
+from repro.eda.stages.base import FlowStage, PipelineState
+from repro.eda.timing import SignoffSTA
+
+
+class DrouteSignoffStage(FlowStage):
+    name = "droute_signoff"
+    knobs = ("target_clock_ghz", "router_effort", "router_max_iterations")
+    n_seeds = 1
+    cacheable = False
+
+    def run(
+        self,
+        state: PipelineState,
+        options: FlowOptions,
+        seeds: Sequence[int],
+        stop_callback=None,
+    ) -> None:
+        result = state.result
+        period = options.clock_period_ps
+
+        drouter = DetailedRouter(
+            max_iterations=options.router_max_iterations, effort=options.router_effort
+        )
+        droute = drouter.route(state.congestion, seeds[0], stop_callback)
+        state.droute = droute
+        result.final_drvs = droute.final_drvs
+        result.routed = droute.success
+        result.logs.append(
+            StepLog("droute", {"final_drvs": droute.final_drvs,
+                               "iterations": droute.iterations_run,
+                               "success": float(droute.success)},
+                    series={"drvs": [float(v) for v in droute.drvs_per_iteration]},
+                    runtime_proxy=droute.iterations_run * 120.0)
+        )
+
+        signoff = SignoffSTA().analyze(
+            state.netlist, state.placement, period, state.clock_tree.skews,
+            state.congestion
+        )
+        result.wns = signoff.wns
+        result.tns = signoff.tns
+        result.timing_met = signoff.wns >= 0.0
+        achieved_period = max(1.0, period - signoff.wns)
+        result.achieved_ghz = 1000.0 / achieved_period
+        power = estimate_power(state.netlist, state.placement, options.target_clock_ghz)
+        ir_drop_analysis(state.netlist, state.placement, power)
+        result.area = state.netlist.total_area + state.clock_tree.buffer_area
+        result.power = power.total
+        result.leakage = power.leakage
+        result.logs.append(
+            StepLog("signoff", {"wns": signoff.wns, "tns": signoff.tns,
+                                "violations": float(signoff.n_violations),
+                                "power": power.total,
+                                "ir_drop": power.worst_ir_drop},
+                    runtime_proxy=signoff.runtime_proxy)
+        )

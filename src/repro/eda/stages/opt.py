@@ -1,0 +1,48 @@
+"""Timing-optimization stage: sizing/VT loop under the embedded timer.
+
+Note the knob subset includes ``target_clock_ghz``: this is the first
+stage where the clock target enters the pipeline, so a target-frequency
+sweep at a fixed seed shares its whole synth..groute prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eda.flow import FlowOptions, StepLog
+from repro.eda.opt import TimingOptimizer
+from repro.eda.stages.base import FlowStage, PipelineState
+from repro.eda.timing import GraphSTA
+
+
+class OptStage(FlowStage):
+    name = "opt"
+    knobs = ("target_clock_ghz", "opt_passes", "opt_cells_per_pass",
+             "opt_guardband", "power_recovery")
+    n_seeds = 1
+
+    def run(
+        self,
+        state: PipelineState,
+        options: FlowOptions,
+        seeds: Sequence[int],
+        stop_callback=None,
+    ) -> None:
+        optimizer = TimingOptimizer(
+            max_passes=options.opt_passes,
+            cells_per_pass=options.opt_cells_per_pass,
+            guardband=options.opt_guardband,
+            recover_power=options.power_recovery,
+        )
+        opt = optimizer.optimize(
+            state.netlist, state.placement, options.clock_period_ps, GraphSTA(),
+            state.clock_tree.skews, state.congestion, seeds[0]
+        )
+        state.opt = opt
+        state.result.logs.append(
+            StepLog("opt", {"passes": opt.passes, "upsizes": opt.upsizes,
+                            "downsizes": opt.downsizes, "vt_swaps": opt.vt_swaps,
+                            "wns_graph": opt.final_report.wns},
+                    series={"wns": opt.history},
+                    runtime_proxy=opt.total_ops * 8.0 + opt.passes * 50.0)
+        )

@@ -1,0 +1,211 @@
+"""The pipeline driver: plan seeds, resume from the deepest prefix, run.
+
+:func:`execute_pipeline` is the staged replacement for the monolithic
+``SPRFlow.run``/``implement`` bodies and is bit-identical to them: the
+step-seed stream is drawn in the exact historical order (synthesis and
+implementation seeds first, then placer, refiner, CTS, global route,
+opt, detailed route), every stage appends the same
+:class:`~repro.eda.flow.StepLog`, and the returned
+:class:`~repro.eda.flow.FlowResult` matches field for field.
+
+Because :func:`plan_stages` derives *all* step seeds up front, prefix
+cache keys can be computed without running anything — so a job can
+probe the stage cache deepest-first and re-run only the suffix after
+its deepest cached prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.eda.flow import FlowOptions, FlowResult, StepLog
+from repro.eda.netlist import Netlist
+from repro.eda.stages.base import FlowStage, PipelineState
+from repro.eda.stages.cache import StageCache, get_stage_cache, stage_prefix_keys
+from repro.eda.stages.cts import CtsStage
+from repro.eda.stages.droute import DrouteSignoffStage
+from repro.eda.stages.floorplan import FloorplanStage
+from repro.eda.stages.groute import GrouteStage
+from repro.eda.stages.opt import OptStage
+from repro.eda.stages.place import PlaceStage
+from repro.eda.stages.synth import SynthStage
+from repro.eda.synthesis import DesignSpec
+
+Design = Union[DesignSpec, Netlist]
+
+#: physical implementation of an existing netlist (the ``implement`` entry)
+IMPLEMENT_STAGES: Tuple[FlowStage, ...] = (
+    FloorplanStage(),
+    PlaceStage(),
+    CtsStage(),
+    GrouteStage(),
+    OptStage(),
+    DrouteSignoffStage(),
+)
+
+#: the full flow from a design spec (the ``run`` entry)
+FULL_FLOW_STAGES: Tuple[FlowStage, ...] = (SynthStage(),) + IMPLEMENT_STAGES
+
+
+def _implement_seed_plan(draw: Callable[[], int]) -> Tuple[Tuple[int, ...], ...]:
+    """Per-stage seed tuples for IMPLEMENT_STAGES, drawn in the
+    monolith's order (left-to-right evaluation): placer, refiner, CTS,
+    global route, opt, detailed route."""
+    return (
+        (),                 # floorplan draws nothing
+        (draw(), draw()),   # place: placer + refiner
+        (draw(),),          # cts
+        (draw(),),          # groute
+        (draw(),),          # opt
+        (draw(),),          # droute_signoff
+    )
+
+
+def plan_stages(design: Design, seed: int):
+    """``(entry_kind, stages, per-stage seed tuples)`` for one job.
+
+    Reproduces the monolithic rng exactly: a full-flow run draws a
+    synthesis seed then an implementation seed from ``rng(seed)``, and
+    the implementation seeds come from ``rng(implementation_seed)``; an
+    implement-only run draws them from ``rng(seed)`` directly.
+    """
+    rng = np.random.default_rng(seed)
+    draw = lambda: int(rng.integers(0, 2**31 - 1))  # noqa: E731
+    if isinstance(design, Netlist):
+        return "netlist", IMPLEMENT_STAGES, _implement_seed_plan(draw)
+    synth_seed = draw()
+    impl_rng = np.random.default_rng(draw())
+    impl_draw = lambda: int(impl_rng.integers(0, 2**31 - 1))  # noqa: E731
+    stage_seeds = ((synth_seed,),) + _implement_seed_plan(impl_draw)
+    return "spec", FULL_FLOW_STAGES, stage_seeds
+
+
+@dataclass
+class StageReport:
+    """Per-job stage accounting, returned alongside the result.
+
+    Travels with the job across the process boundary (plain picklable
+    dataclass) so the coordinator can aggregate saved work without
+    seeing the workers' caches.
+    """
+
+    hit_stages: List[str] = field(default_factory=list)
+    run_stages: List[str] = field(default_factory=list)
+    #: runtime proxy of the stages actually executed (the suffix)
+    executed_proxy: float = 0.0
+
+    @property
+    def n_hits(self) -> int:
+        return len(self.hit_stages)
+
+    @property
+    def n_misses(self) -> int:
+        return len(self.run_stages)
+
+
+@dataclass
+class StagedJobOutcome:
+    """What :func:`run_flow_job_staged` returns: result + accounting."""
+
+    result: FlowResult
+    report: StageReport
+
+
+def _design_name(design: Design) -> str:
+    return design.name
+
+
+def execute_pipeline(
+    design: Design,
+    options: FlowOptions,
+    seed: int = 0,
+    stop_callback=None,
+    design_name: Optional[str] = None,
+    synth_log: Optional[StepLog] = None,
+    result_seed: Optional[int] = None,
+    cache: Optional[StageCache] = None,
+    report: Optional[StageReport] = None,
+) -> FlowResult:
+    """Run the staged pipeline for one job; bit-identical to the monolith.
+
+    With a ``cache``, the job resumes from its deepest cached prefix
+    snapshot and re-runs only the suffix; every executed cacheable
+    stage's post-state is snapshotted for later jobs.  An externally
+    supplied ``synth_log`` (partition-driven flows) is not part of any
+    key, so such runs bypass the cache entirely.
+    """
+    kind, stages, stage_seeds = plan_stages(design, seed)
+    if synth_log is not None:
+        cache = None
+    keys = stage_prefix_keys(design, options, seed) if cache is not None else None
+    reported_seed = seed if result_seed is None else result_seed
+
+    state: Optional[PipelineState] = None
+    start = 0
+    if cache is not None:
+        for i in range(len(stages) - 1, -1, -1):
+            if not stages[i].cacheable:
+                continue
+            cached = cache.get(keys[i], stages[i].name)
+            if cached is not None:
+                state = cached
+                # the snapshot carries the *creating* job's identity
+                # fields; the artifacts only depend on the matching
+                # knob prefix, so rebadge them for this job
+                state.result.design = design_name or _design_name(design)
+                state.result.options = options
+                state.result.seed = reported_seed
+                start = i + 1
+                break
+
+    if state is None:
+        result = FlowResult(
+            design=design_name or _design_name(design), options=options,
+            seed=reported_seed,
+        )
+        state = PipelineState(result=result)
+        if kind == "netlist":
+            state.netlist = design
+            if synth_log is not None:
+                result.logs.append(synth_log)
+        else:
+            state.spec = design
+
+    if report is None:
+        report = StageReport()
+    report.hit_stages.extend(stage.name for stage in stages[:start])
+
+    for i in range(start, len(stages)):
+        stage = stages[i]
+        n_logs = len(state.result.logs)
+        stage.run(state, options, stage_seeds[i], stop_callback=stop_callback)
+        report.run_stages.append(stage.name)
+        report.executed_proxy += sum(
+            log.runtime_proxy for log in state.result.logs[n_logs:]
+        )
+        if cache is not None and stage.cacheable:
+            cache.put(keys[i], stage.name, state)
+
+    state.result.runtime_proxy = sum(log.runtime_proxy for log in state.result.logs)
+    return state.result
+
+
+def run_flow_job_staged(
+    design: Design, options: FlowOptions, seed: int, stop_callback=None
+) -> StagedJobOutcome:
+    """Stage-cached drop-in for
+    :func:`~repro.core.parallel.executor.run_flow_job` (module-level,
+    hence picklable).  Uses the process-global stage cache — in pool
+    mode that is each worker's own cache, configured by the executor's
+    worker initializer; when none is configured the pipeline simply
+    runs every stage.
+    """
+    report = StageReport()
+    result = execute_pipeline(
+        design, options, seed, stop_callback=stop_callback,
+        cache=get_stage_cache(), report=report,
+    )
+    return StagedJobOutcome(result=result, report=report)

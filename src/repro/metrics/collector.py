@@ -176,7 +176,13 @@ def run_instrumented_flow_job(queue, run_id, flow_fn, design, options, seed,
     failure slots) are identical with and without instrumentation.  A
     crash in ``flow_fn`` propagates before anything is transmitted.
     """
-    result = flow_fn(design, options, seed, stop_callback)
+    from repro.eda.stages.runner import StagedJobOutcome
+
+    outcome = flow_fn(design, options, seed, stop_callback)
+    # a stage-cached job returns (result, stage report); report the
+    # result's metrics but hand the full outcome back to the executor,
+    # which needs the report for its saved-work accounting
+    result = outcome.result if isinstance(outcome, StagedJobOutcome) else outcome
     with QueueTransmitter(queue, result.design, run_id, tool="spr_flow") as tx:
         report_flow_metrics(tx, result)
-    return result
+    return outcome

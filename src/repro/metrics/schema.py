@@ -62,6 +62,12 @@ VOCABULARY: Dict[str, tuple] = {
     "exec.failure": ("bool", "job produced no FlowResult"),
     "exec.runtime_proxy": ("work", "simulated tool cost of the delivered result"),
     "exec.wall_time": ("s", "wall-clock of the executor batch the job ran in"),
+    # stage-pipeline events: with the stage-prefix cache on, each job
+    # reports how many pipeline stages were served from cached prefix
+    # snapshots vs. actually executed, and the tool cost it really paid
+    "exec.stage.hit": ("count", "pipeline stages served from the stage-prefix cache"),
+    "exec.stage.miss": ("count", "pipeline stages actually executed by the job"),
+    "stage.runtime_proxy": ("work", "tool cost actually executed (suffix only on a prefix resume)"),
 }
 
 #: the executor-event subset of the vocabulary, emitted per job by an
@@ -76,9 +82,14 @@ EXECUTOR_EVENT_METRICS = (
     "exec.failure",
     "exec.runtime_proxy",
     "exec.wall_time",
+    "exec.stage.hit",
+    "exec.stage.miss",
+    "stage.runtime_proxy",
 )
 
-_NAME_RE = re.compile(r"^[a-z_]+\.[a-z_]+$")
+# one or more dot-separated lowercase segments after the first —
+# executor stage events ("exec.stage.hit") have three
+_NAME_RE = re.compile(r"^[a-z_]+(\.[a-z_]+)+$")
 
 
 def validate_metric_name(name: str) -> str:

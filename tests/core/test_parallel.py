@@ -291,3 +291,108 @@ def test_stats_summary_and_accounting(small_spec):
     )
     line = stats.summary()
     assert "jobs=3" in line and "retries=0" in line and "wall=" in line
+
+
+# ------------------------------------------------------ schema versioning
+def test_disk_entries_carry_schema_version(small_spec, tmp_path):
+    import json
+
+    from repro.core.parallel import CACHE_SCHEMA
+
+    result = SPRFlow().run(small_spec, OPTS, seed=9)
+    cache = ResultCache(cache_dir=str(tmp_path))
+    cache.put("k", result)
+    with open(tmp_path / "k.json") as fh:
+        assert json.load(fh)["schema"] == CACHE_SCHEMA
+
+
+def test_unversioned_disk_entry_is_a_miss(small_spec, tmp_path):
+    """Entries written before schema versioning (no ``schema`` field)
+    must be treated as misses, not deserialized on faith."""
+    import json
+
+    result = SPRFlow().run(small_spec, OPTS, seed=9)
+    cache = ResultCache(cache_dir=str(tmp_path))
+    cache.put("k", result)
+    with open(tmp_path / "k.json") as fh:
+        data = json.load(fh)
+    del data["schema"]
+    (tmp_path / "k.json").write_text(json.dumps(data))
+    fresh = ResultCache(cache_dir=str(tmp_path))
+    assert fresh.get("k") is None
+
+
+def test_wrong_schema_disk_entry_is_a_miss(small_spec, tmp_path):
+    import json
+
+    result = SPRFlow().run(small_spec, OPTS, seed=9)
+    cache = ResultCache(cache_dir=str(tmp_path))
+    cache.put("k", result)
+    with open(tmp_path / "k.json") as fh:
+        data = json.load(fh)
+    data["schema"] = 999
+    (tmp_path / "k.json").write_text(json.dumps(data))
+    fresh = ResultCache(cache_dir=str(tmp_path))
+    assert fresh.get("k") is None
+    # memory tier of the writing instance is unaffected
+    assert cache.get("k") == result
+
+
+# ------------------------------------------------------- stage caching
+def test_executor_stage_cache_serial(small_spec):
+    """A fixed-seed suffix-knob sweep through a stage-cached executor:
+    identical results, fewer executed proxy units, hits reported."""
+    options = [OPTS.with_(router_effort=e) for e in (0.3, 0.6, 0.9)]
+    jobs = [FlowJob(small_spec, o, 5) for o in options]
+    plain = FlowExecutor(n_workers=1, cache=False)
+    baseline = plain.run_jobs(jobs)
+    staged = FlowExecutor(n_workers=1, cache=False, stage_cache=True)
+    cached = staged.run_jobs(jobs)
+    assert cached == baseline
+    assert staged.stats.stage_hits > 0
+    assert staged.stats.stage_hits_by_stage.get("opt", 0) > 0
+    assert 0 < staged.stats.runtime_proxy_executed < staged.stats.runtime_proxy_total
+    assert plain.stats.runtime_proxy_executed == pytest.approx(
+        plain.stats.runtime_proxy_total)
+    assert staged.stats.runtime_proxy_executed < plain.stats.runtime_proxy_executed
+    line = staged.stats.summary()
+    assert "stage_hits=" in line and "work_executed=" in line
+    assert "stage_hits=" not in plain.stats.summary()  # only shown when active
+
+
+def test_executor_stage_cache_pool_mode(small_spec):
+    jobs = [FlowJob(small_spec, OPTS.with_(router_effort=e), 5)
+            for e in (0.3, 0.6, 0.9, 0.45)]
+    baseline = FlowExecutor(n_workers=1, cache=False).run_jobs(jobs)
+    with FlowExecutor(n_workers=2, cache=False, stage_cache=True) as executor:
+        assert executor.run_jobs(jobs) == baseline
+        # more jobs than workers -> some worker ran >= 2 jobs, and its
+        # worker-local cache served the shared prefix (pigeonhole)
+        assert executor.stats.stage_hits > 0
+
+
+def test_executor_persists_stage_stats(small_spec, tmp_path):
+    import json
+
+    jobs = [FlowJob(small_spec, OPTS.with_(router_effort=e), 5)
+            for e in (0.3, 0.9)]
+    with FlowExecutor(n_workers=1, cache=True, cache_dir=str(tmp_path),
+                      stage_cache=True) as executor:
+        executor.run_jobs(jobs)
+    with open(tmp_path / "cache-stats.json") as fh:
+        stats = json.load(fh)
+    assert stats["jobs_run"] == 2
+    assert stats["stage_hits"] > 0
+    assert stats["stage_hits_by_stage"].get("opt", 0) > 0
+    # a second campaign over the same dir merges by sum
+    with FlowExecutor(n_workers=1, cache=True, cache_dir=str(tmp_path),
+                      stage_cache=True) as executor:
+        executor.run_jobs(jobs)
+    with open(tmp_path / "cache-stats.json") as fh:
+        merged = json.load(fh)
+    assert merged["jobs_submitted"] == stats["jobs_submitted"] * 2
+
+
+def test_executor_stage_cache_validation():
+    with pytest.raises(ValueError):
+        FlowExecutor(n_workers=1, stage_cache=True, stage_cache_entries=0)

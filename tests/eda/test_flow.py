@@ -62,6 +62,22 @@ def test_log_text_format(flow_result):
     assert "signoff.wns" in text
 
 
+def test_step_log_series_printed_in_sorted_order():
+    """Log text must not depend on series insertion order — parsers and
+    golden-log diffs rely on a canonical layout."""
+    from repro.eda.flow import StepLog
+
+    forward = StepLog("opt", {"m": 1.0},
+                      {"wns": [1.0, 2.0], "area": [3.0], "drvs": [4.0]})
+    backward = StepLog("opt", {"m": 1.0},
+                       {"drvs": [4.0], "area": [3.0], "wns": [1.0, 2.0]})
+    assert forward.to_text() == backward.to_text()
+    lines = forward.to_text().splitlines()
+    series_lines = [ln for ln in lines if "[" in ln]
+    assert series_lines == sorted(series_lines)
+    assert series_lines[0].startswith("opt.area[0]")
+
+
 def test_flow_options_immutable_with_override():
     opts = FlowOptions(target_clock_ghz=0.7)
     faster = opts.with_(target_clock_ghz=0.9)

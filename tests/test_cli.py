@@ -81,6 +81,43 @@ def test_explore_command(capsys):
     assert code == 0
 
 
+def test_explore_with_stage_cache(capsys):
+    code = main(["explore", "--design", "PHY", "--rounds", "1",
+                 "--concurrent", "2", "--seed", "1", "--stage-cache"])
+    out = capsys.readouterr().out
+    assert "stage_misses=" in out  # stage accounting surfaced in the summary
+    assert code == 0
+
+
+def test_cache_stats_command(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    assert main(["explore", "--design", "PHY", "--rounds", "1",
+                 "--concurrent", "2", "--seed", "1", "--stage-cache",
+                 "--cache-dir", str(cache_dir)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "2 disk entries" in out
+    assert "schema 2: 2 entries (usable)" in out
+    assert "stage prefix" in out
+    assert "droute_signoff" in out
+    assert "work: delivered=" in out
+
+
+def test_cache_stats_flags_stale_schemas(capsys, tmp_path):
+    (tmp_path / "old.json").write_text('{"design": "x", "schema": 1}')
+    (tmp_path / "bad.json").write_text("{not json")
+    assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "schema 1: 1 entries (stale -> treated as misses)" in out
+    assert "1 unreadable entries" in out
+    assert "no cache-stats.json" in out
+
+
+def test_cache_stats_missing_dir(capsys, tmp_path):
+    assert main(["cache", "stats", "--dir", str(tmp_path / "nope")]) == 1
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["definitely-not-a-command"])
@@ -89,5 +126,13 @@ def test_unknown_command_rejected():
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("flow", "noise", "doomed", "mab", "cost"):
+    for command in ("flow", "noise", "doomed", "mab", "cost", "cache"):
         assert command in text
+
+
+def test_stage_cache_flag_on_campaign_parsers():
+    parser = build_parser()
+    args = parser.parse_args(["mab", "--stage-cache"])
+    assert args.stage_cache is True
+    args = parser.parse_args(["explore"])
+    assert args.stage_cache is False
