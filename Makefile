@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint smoke metrics-smoke stage-smoke bench
+.PHONY: test lint smoke metrics-smoke stage-smoke sta-smoke bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -43,6 +43,16 @@ metrics-smoke:
 stage-smoke:
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/stage_cache_benchmark.py --smoke --workers 2
+
+# Incremental STA smoke: the kernel equivalence suites (bitwise vs. the
+# frozen pre-refactor engines, random-edit walks through update()) plus
+# the optimizer benchmark in assert-only mode (bit-identical QoR, >=2x
+# less timing work).
+sta-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
+		tests/eda/test_sta_equivalence.py tests/eda/test_sta_incremental.py
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/incremental_sta_benchmark.py --smoke
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

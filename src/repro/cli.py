@@ -202,6 +202,14 @@ def _cmd_metrics_summary(args) -> int:
         values = by_metric[metric]
         print(f"{metric:<24} {len(values):>6} {sum(values)/len(values):>12.4f} "
               f"{min(values):>12.4f} {max(values):>12.4f}")
+    sta_full = sum(by_metric.get("sta.full", []))
+    sta_incr = sum(by_metric.get("sta.incremental.updates", []))
+    if sta_full or sta_incr:
+        saved = sum(by_metric.get("sta.incremental.proxy_saved", []))
+        nodes = sum(by_metric.get("sta.incremental.nodes", []))
+        print(f"timing: {sta_incr:.0f} incremental updates vs {sta_full:.0f} "
+              f"full propagations ({nodes:.0f} nodes re-propagated, "
+              f"{saved:.0f} work units saved)")
     if args.recommend:
         try:
             rec = DataMiner(server, seed=0).recommend_options(

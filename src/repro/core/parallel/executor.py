@@ -501,6 +501,14 @@ class FlowExecutor:
                 tx.send("exec.stage.miss",
                         float(report.n_misses if report is not None else 0))
                 tx.send("stage.runtime_proxy", float(executed_work[i]))
+                tx.send("sta.full",
+                        float(report.sta_full if report is not None else 0))
+                tx.send("sta.incremental.updates",
+                        float(report.sta_incremental if report is not None else 0))
+                tx.send("sta.incremental.nodes",
+                        float(report.sta_nodes if report is not None else 0))
+                tx.send("sta.incremental.proxy_saved",
+                        float(report.sta_proxy_saved if report is not None else 0.0))
             if hit_tier[i] is not None and not failed:
                 with QueueTransmitter(self.collector.queue, design_name,
                                       run_ids[i], tool="spr_flow") as tx:

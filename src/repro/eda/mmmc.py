@@ -15,13 +15,14 @@ from typing import Dict, Optional
 
 from repro.eda.netlist import Netlist
 from repro.eda.placement import Placement
-from repro.eda.timing import (
+from repro.eda.sta import (
     Corner,
     FAST,
     GraphSTA,
     SLOW,
     SignoffSTA,
     TimingReport,
+    TimingTopology,
     TYPICAL,
 )
 
@@ -94,7 +95,15 @@ class MMMCReport:
 
 
 class MMMCAnalyzer:
-    """Run a view set and merge (the signoff "run them all" reference)."""
+    """Run a view set and merge (the signoff "run them all" reference).
+
+    Engines are constructed once per view at ``__init__`` (the Fig 9 /
+    Fig 10 loops call ``analyze`` repeatedly — reallocating timers per
+    call was pure waste), and one :class:`TimingTopology` — the
+    corner-independent part of STA: levelization and net lengths — is
+    built per design and shared by every view's kernel; only the
+    per-view delay policies differ.
+    """
 
     def __init__(self, views=DEFAULT_VIEWS):
         if not views:
@@ -103,6 +112,12 @@ class MMMCAnalyzer:
         if len(set(names)) != len(names):
             raise ValueError("duplicate view names")
         self.views = tuple(views)
+        self.engines = {}
+        for view in self.views:
+            if view.engine == "graph":
+                self.engines[view.name] = GraphSTA(corner=view.corner)
+            else:
+                self.engines[view.name] = SignoffSTA(corner=view.corner)
 
     def analyze(
         self,
@@ -111,19 +126,26 @@ class MMMCAnalyzer:
         clock_period: float,
         skews: Optional[Dict[str, float]] = None,
         congestion=None,
+        topology: Optional[TimingTopology] = None,
     ) -> MMMCReport:
+        if clock_period <= 0:
+            raise ValueError("clock period must be positive")
+        if (
+            topology is None
+            or topology.netlist is not netlist
+            or topology.placement is not placement
+        ):
+            topology = TimingTopology(netlist, placement)
         report = MMMCReport()
         for view in self.views:
-            if view.engine == "graph":
-                engine = GraphSTA(corner=view.corner)
-            else:
-                engine = SignoffSTA(corner=view.corner)
-            report.reports[view.name] = engine.analyze(
+            graph = self.engines[view.name].build_graph(
                 netlist,
                 placement,
-                clock_period,
                 skews=skews,
                 congestion=congestion,
                 check_hold=view.check_hold,
+                topology=topology,
             )
+            graph.full_propagate()
+            report.reports[view.name] = graph.report(clock_period)
         return report

@@ -61,6 +61,10 @@ class Netlist:
         self.primary_inputs: List[str] = []
         self.primary_outputs: List[str] = []
         self.clock_net: Optional[str] = None
+        #: Bumped on every topology change (new instance/net).  Cheap
+        #: staleness check for derived views (levelized timing graphs):
+        #: cell swaps leave it alone, buffer insertions advance it.
+        self.structure_version: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -99,6 +103,7 @@ class Netlist:
         self.nets[out_net_name] = Net(name=out_net_name, driver=name)
         for pin_idx, net_name in enumerate(input_nets):
             self.nets[net_name].sinks.append((name, pin_idx))
+        self.structure_version += 1
         return inst
 
     def insert_buffer(

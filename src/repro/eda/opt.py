@@ -12,6 +12,15 @@ maximum achievable frequency the outcome (area, leakage) is noisy —
 the mechanism behind the paper's Fig 3.  The miscorrelation experiment
 (Sec 3.2) also uses this engine: pessimistic guardbands force it to do
 *unneeded* sizing work, costing area and power.
+
+Since the :mod:`repro.eda.sta` refactor the optimizer queries timing
+*incrementally*: each surgery pass reports the instances it touched,
+and the shared :class:`~repro.eda.sta.graph.TimingGraph` re-propagates
+only their forward cones instead of re-running full STA.  Reports (and
+therefore every sizing decision) are bit-identical to the historical
+full-reanalysis loop; only the ``runtime_proxy`` charged per query
+shrinks.  Pass ``incremental=False`` to run the historical loop —
+the benchmark uses it as the cost baseline.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import numpy as np
 from repro.eda.library import DRIVE_STRENGTHS
 from repro.eda.netlist import Netlist
 from repro.eda.placement import Placement
-from repro.eda.timing import TimingReport, _BaseSTA
+from repro.eda.sta import StaStats, TimingGraph, TimingReport, _BaseSTA
 
 
 @dataclass
@@ -39,6 +48,7 @@ class OptResult:
     area_delta: float = 0.0
     leakage_delta: float = 0.0
     history: List[float] = field(default_factory=list)  # wns per pass
+    sta_stats: Optional[StaStats] = None  # timing-work accounting
 
     @property
     def total_ops(self) -> int:
@@ -79,34 +89,75 @@ class TimingOptimizer:
         skews: Optional[Dict[str, float]] = None,
         congestion=None,
         seed: Optional[int] = None,
+        incremental: bool = True,
+        graph: Optional[TimingGraph] = None,
     ) -> OptResult:
+        """Close timing (then recover power) against one timer.
+
+        With ``incremental=True`` (default) the loop keeps one
+        :class:`TimingGraph` alive and re-propagates only the cones of
+        touched instances between passes; ``incremental=False`` re-runs
+        ``sta.analyze`` per pass (the historical behavior, kept as the
+        cost baseline).  An already-built ``graph`` for the same
+        (netlist, placement) may be passed to skip reconstruction — the
+        stage layer threads one through :class:`PipelineState`.
+        """
         rng = np.random.default_rng(seed)
-        lib = netlist.library
         area_before = netlist.total_area
         leak_before = netlist.total_leakage
         result = OptResult(passes=0)
 
-        report = sta.analyze(netlist, placement, clock_period, skews, congestion)
-        result.history.append(report.wns)
+        if incremental:
+            if graph is None:
+                graph = sta.build_graph(
+                    netlist, placement, skews=skews, congestion=congestion
+                )
+            stats = graph.stats
+            graph.full_propagate()
+            report = graph.report(clock_period)
+        else:
+            graph = None
+            stats = StaStats()
+            report = sta.analyze(netlist, placement, clock_period, skews, congestion)
+            stats.full_propagates += 1
+            stats.proxy_executed += report.runtime_proxy
+            stats.proxy_full_equivalent += report.runtime_proxy
+
+        worst = report.worst_endpoint()
+        result.history.append(worst.slack if worst is not None else float("inf"))
         for _ in range(self.max_passes):
             result.passes += 1
-            effective_wns = report.wns - self.guardband
+            wns = worst.slack if worst is not None else float("inf")
+            effective_wns = wns - self.guardband
             if effective_wns < 0:
-                changed = self._fix_timing(netlist, placement, report, rng, result)
+                touched = self._fix_timing(netlist, placement, report, rng, result)
             elif self.recover_power:
-                changed = self._recover_power(netlist, report, rng, result)
+                touched = self._recover_power(netlist, report, rng, result)
             else:
-                changed = False
-            if not changed:
+                touched = []
+            if not touched:
                 break
-            report = sta.analyze(netlist, placement, clock_period, skews, congestion)
-            result.history.append(report.wns)
-            if report.wns - self.guardband >= 0 and not self.recover_power:
+            if graph is not None:
+                graph.update(touched)
+                report = graph.report(clock_period)
+            else:
+                report = sta.analyze(netlist, placement, clock_period, skews, congestion)
+                stats.full_propagates += 1
+                stats.proxy_executed += report.runtime_proxy
+                stats.proxy_full_equivalent += report.runtime_proxy
+            worst = report.worst_endpoint()
+            result.history.append(worst.slack if worst is not None else float("inf"))
+            if (
+                worst is not None
+                and worst.slack - self.guardband >= 0
+                and not self.recover_power
+            ):
                 break
 
         result.final_report = report
         result.area_delta = netlist.total_area - area_before
         result.leakage_delta = netlist.total_leakage - leak_before
+        result.sta_stats = stats
         return result
 
     # ------------------------------------------------------------------
@@ -139,8 +190,13 @@ class TimingOptimizer:
                 delta_pred += netlist.instances[driver].cell.drive_resistance * delta_cap
         return delta_self + delta_pred
 
-    def _fix_timing(self, netlist, placement, report, rng, result) -> bool:
-        """Upsize / LVT-swap path cells, best estimated gain first."""
+    def _fix_timing(self, netlist, placement, report, rng, result) -> List[str]:
+        """Upsize / LVT-swap path cells, best estimated gain first.
+
+        Returns the names of the instances actually modified (empty
+        list when the pass made no progress) so the caller can
+        invalidate exactly their timing cones.
+        """
         failing = sorted(
             (e for e in report.endpoints.values() if e.slack - self.guardband < 0),
             key=lambda e: e.slack,
@@ -155,7 +211,7 @@ class TimingOptimizer:
             if len(candidates) >= self.cells_per_pass * 3:
                 break
         if not candidates:
-            return False
+            return []
         rng.shuffle(candidates)
         scored = []
         lib = netlist.library
@@ -176,15 +232,17 @@ class TimingOptimizer:
             if best is not None and best[0] < -1e-9:
                 scored.append(best)
         if not scored:
-            return False
+            return []
         scored.sort(key=lambda t: t[0])
+        touched: List[str] = []
         for gain, inst_name, new_cell, kind in scored[: self.cells_per_pass]:
             netlist.replace_cell(inst_name, new_cell)
+            touched.append(inst_name)
             if kind == "upsize":
                 result.upsizes += 1
             else:
                 result.vt_swaps += 1
-        return True
+        return touched
 
     def fix_hold(
         self,
@@ -195,24 +253,36 @@ class TimingOptimizer:
         skews: Optional[Dict[str, float]] = None,
         max_buffers: int = 64,
         max_passes: int = 10,
+        incremental: bool = True,
     ) -> int:
         """Pad short paths with delay buffers until hold is met.
 
-        Each pass re-runs hold analysis and inserts one slow (HVT X1)
-        buffer in front of every violating flop's D pin; newly inserted
-        buffers sit at the flop's own location.  Returns the number of
-        buffers inserted.  Raises RuntimeError if hold cannot be closed
-        within the buffer budget (a real tool would escalate).
+        Each pass re-checks hold and inserts one slow (HVT X1) buffer
+        in front of every violating flop's D pin; newly inserted
+        buffers sit at the flop's own location.  With ``incremental=
+        True`` only the spliced cones are re-propagated between passes.
+        Returns the number of buffers inserted.  Raises RuntimeError if
+        hold cannot be closed within the buffer budget (a real tool
+        would escalate).
         """
         if max_buffers < 1:
             raise ValueError("max_buffers must be >= 1")
         lib = netlist.library
         buffer_cell = lib.pick("BUF", 1, "HVT")
         inserted = 0
+
+        graph: Optional[TimingGraph] = None
+        if incremental:
+            graph = sta.build_graph(netlist, placement, skews=skews, check_hold=True)
+            graph.full_propagate()
+
+        def hold_report():
+            if graph is not None:
+                return graph.report(clock_period)
+            return sta.analyze(netlist, placement, clock_period, skews, check_hold=True)
+
         for _ in range(max_passes):
-            report = sta.analyze(
-                netlist, placement, clock_period, skews, check_hold=True
-            )
+            report = hold_report()
             violating = [
                 name
                 for name, ep in report.endpoints.items()
@@ -220,6 +290,7 @@ class TimingOptimizer:
             ]
             if not violating:
                 return inserted
+            touched: List[str] = []
             for endpoint in violating:
                 if inserted >= max_buffers:
                     raise RuntimeError(
@@ -232,18 +303,24 @@ class TimingOptimizer:
                     f"hold_buf_{inserted}", buffer_cell, d_net, flop_name, 0
                 )
                 placement.positions[buf.name] = placement.positions[flop_name]
+                touched.append(buf.name)
                 inserted += 1
-        report = sta.analyze(netlist, placement, clock_period, skews, check_hold=True)
+            if graph is not None:
+                graph.update(touched)
+        report = hold_report()
         if report.n_hold_violations:
             raise RuntimeError("hold not closed within the pass budget")
         return inserted
 
-    def _recover_power(self, netlist, report, rng, result) -> bool:
-        """Downsize / HVT-swap cells that only appear on slack-rich paths."""
+    def _recover_power(self, netlist, report, rng, result) -> List[str]:
+        """Downsize / HVT-swap cells that only appear on slack-rich paths.
+
+        Returns the names of the instances actually modified.
+        """
         margin = self.guardband + 40.0  # only touch comfortably-met paths
         relaxed = [e for e in report.endpoints.values() if e.slack > margin]
         if not relaxed:
-            return False
+            return []
         # instances on any near-critical path are off limits
         critical = set()
         for ep in report.endpoints.values():
@@ -257,19 +334,19 @@ class TimingOptimizer:
             and (inst.cell.drive > 1 or inst.cell.vt != "HVT")
         ]
         if not candidates:
-            return False
+            return []
         rng.shuffle(candidates)
-        changed = False
+        touched: List[str] = []
         for inst_name in candidates[: self.cells_per_pass]:
             inst = netlist.instances[inst_name]
             cell = inst.cell
             if cell.vt != "HVT":
                 netlist.replace_cell(inst_name, netlist.library.swap_vt(cell, "HVT"))
                 result.vt_swaps += 1
-                changed = True
+                touched.append(inst_name)
             elif cell.drive > 1:
                 drive_idx = DRIVE_STRENGTHS.index(cell.drive)
                 netlist.replace_cell(inst_name, netlist.library.resize(cell, DRIVE_STRENGTHS[drive_idx - 1]))
                 result.downsizes += 1
-                changed = True
-        return changed
+                touched.append(inst_name)
+        return touched

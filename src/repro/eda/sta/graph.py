@@ -1,0 +1,620 @@
+"""The incremental STA kernel: a levelized timing graph over a netlist.
+
+:class:`TimingGraph` is the artifact the rest of the substrate queries
+for timing.  It is constructed once from (netlist, placement,
+congestion) plus a delay-model policy, propagates arrivals with
+:meth:`TimingGraph.full_propagate`, and then answers *edits* with
+:meth:`TimingGraph.update` — dirty-set invalidation that re-levels and
+re-propagates only the forward fanout cones (and predecessor load
+deltas) of the touched instances.  ``runtime_proxy`` is charged by the
+nodes actually propagated, so the Fig-8 cost axis stays honest while
+an optimizer loop queries timing incrementally.
+
+Bit-identity with the historical full-run engines is a hard contract
+(enforced against ``tests/eda/sta_reference.py``): every per-node
+value is computed by the *same float expressions in the same order*
+as the pre-refactor ``_BaseSTA.analyze``, and an incremental update
+stops propagating exactly where recomputed ``(arrival, slew)`` values
+are bitwise unchanged — recomputing a node whose inputs are bitwise
+identical reproduces its old value bitwise, so pruned cones cannot
+diverge from a from-scratch run.
+
+Invalidation rules (see docs/substrate.md for the narrative version):
+
+- **cell swap** (``replace_cell``): dirty = the instance itself plus
+  the drivers of its input nets (their output load changed through the
+  new input capacitance).  Net lengths are untouched.
+- **buffer splice** (``insert_buffer``): the spliced net's length and
+  load both change, so dirty = the new buffer, the spliced net's
+  driver, and *all* of its combinational sinks (their input wire
+  delays see the new length); the buffer is levelized into the graph
+  and downstream levels are raised along the forward cone only.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.eda.library import DFF_CLK_TO_Q, DFF_HOLD, DFF_SETUP
+from repro.eda.netlist import Netlist
+from repro.eda.placement import Placement
+from repro.eda.sta.policy import DelayPolicy
+from repro.eda.sta.report import PI_SLEW, PO_LOAD, EndpointTiming, TimingReport
+
+
+@dataclass
+class StaStats:
+    """Work accounting for one kernel (full vs incremental propagation)."""
+
+    full_propagates: int = 0
+    incremental_updates: int = 0
+    nodes_propagated: int = 0  # nodes recomputed by incremental updates
+    proxy_executed: float = 0.0  # runtime_proxy actually charged
+    proxy_full_equivalent: float = 0.0  # what full re-runs would have cost
+
+    @property
+    def proxy_saved(self) -> float:
+        """Work units avoided by propagating dirty cones instead of everything."""
+        return max(0.0, self.proxy_full_equivalent - self.proxy_executed)
+
+    def add(self, other: "StaStats") -> None:
+        self.full_propagates += other.full_propagates
+        self.incremental_updates += other.incremental_updates
+        self.nodes_propagated += other.nodes_propagated
+        self.proxy_executed += other.proxy_executed
+        self.proxy_full_equivalent += other.proxy_full_equivalent
+
+    def copy(self) -> "StaStats":
+        return StaStats(
+            self.full_propagates,
+            self.incremental_updates,
+            self.nodes_propagated,
+            self.proxy_executed,
+            self.proxy_full_equivalent,
+        )
+
+
+class TimingTopology:
+    """The structural view shared by every corner/policy over one design:
+    topological order, levels, and net lengths.  Building it is the
+    part of STA that does *not* depend on the delay model, so MMMC
+    analysis constructs it once and runs per-view policies over it."""
+
+    def __init__(self, netlist: Netlist, placement: Placement):
+        self.netlist = netlist
+        self.placement = placement
+        self.order: List[str] = []
+        self.level: Dict[str, int] = {}
+        self.net_len: Dict[str, float] = {}
+        self.structure_version: int = -1
+        self.rebuild()
+
+    @property
+    def stale(self) -> bool:
+        return self.structure_version != self.netlist.structure_version
+
+    def rebuild(self) -> None:
+        netlist = self.netlist
+        self.order = netlist.combinational_order()
+        net_len: Dict[str, float] = {}
+        for net_name in netlist.nets:
+            if net_name == netlist.clock_net:
+                continue
+            net_len[net_name] = self.placement.net_length(net_name)
+        self.net_len = net_len
+        level: Dict[str, int] = {}
+        for name in self.order:
+            inst = netlist.instances[name]
+            best = 0
+            for net_name in inst.input_nets:
+                driver = netlist.nets[net_name].driver
+                if driver is not None and not netlist.instances[driver].cell.is_sequential:
+                    best = max(best, level[driver])
+            level[name] = best + 1
+        self.level = level
+        self.structure_version = netlist.structure_version
+
+
+class TimingGraph:
+    """Levelized arrival/slew state for one (netlist, placement, policy).
+
+    ``full_propagate()`` computes every node exactly as the historical
+    engines did; ``update(changed)`` recomputes only the dirty cone;
+    ``report(clock_period)`` materializes endpoint slacks and charges
+    the policy's runtime proxy for the operations since the last query.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        policy: DelayPolicy,
+        skews: Optional[Dict[str, float]] = None,
+        congestion: Optional[np.ndarray] = None,
+        check_hold: bool = False,
+        topology: Optional[TimingTopology] = None,
+    ):
+        self.netlist = netlist
+        self.placement = placement
+        self.policy = policy
+        self.skews = skews or {}
+        self.congestion = congestion
+        self.check_hold = check_hold
+        if (
+            topology is None
+            or topology.netlist is not netlist
+            or topology.placement is not placement
+        ):
+            topology = TimingTopology(netlist, placement)
+        self.topology = topology
+        self.stats = StaStats()
+        # per-net propagation state
+        self._net_load: Dict[str, float] = {}
+        self._arrival: Dict[str, float] = {}
+        self._slew: Dict[str, float] = {}
+        self._pred: Dict[str, Optional[str]] = {}
+        self._arrival_min: Dict[str, float] = {}
+        self._known: set = set()  # instance names levelized into the graph
+        self._propagated = False
+        self._ops_pending = 0  # propagation ops since the last report()
+        self._full_ops = 0  # ops one from-scratch propagation costs today
+
+    # ------------------------------------------------------------------
+    # per-node recomputation: these are the *only* places arrival/slew
+    # values are produced, shared verbatim between full and incremental
+    # propagation — that sharing is what makes bit-identity structural
+    # rather than coincidental.
+    def _congestion_at(self, net_name: str) -> float:
+        if self.congestion is None:
+            return 0.0
+        ny, nx = self.congestion.shape
+        placement = self.placement
+        fp = placement.floorplan
+        net = placement.netlist.nets.get(net_name)
+        if net is None or net.driver is None:
+            return 0.0
+        x, y = placement.positions[net.driver]
+        i = min(nx - 1, max(0, int(x / fp.width * nx)))
+        j = min(ny - 1, max(0, int(y / fp.height * ny)))
+        return float(self.congestion[j, i])
+
+    def _net_load_of(self, net_name: str) -> float:
+        netlist = self.netlist
+        net = netlist.nets[net_name]
+        load = sum(netlist.instances[s].cell.input_cap for s, _ in net.sinks)
+        if net_name in netlist.primary_outputs:
+            load += PO_LOAD
+        load += (
+            netlist.library.wire_c_per_um
+            * self.topology.net_len[net_name]
+            * self.policy.corner.wire_factor
+        )
+        return load
+
+    def _compute_seq(self, inst) -> int:
+        policy = self.policy
+        out = inst.output_net
+        launch = self.skews.get(inst.name, 0.0)
+        q_delay = DFF_CLK_TO_Q * policy.corner.delay_factor * policy.stage_derate()
+        load = self._net_load.get(out, 0.0)
+        cell = inst.cell
+        self._arrival[out] = (
+            launch + q_delay + cell.drive_resistance * load * policy.corner.delay_factor
+        )
+        self._slew[out] = cell.output_slew(load)
+        self._pred[out] = None
+        return 1
+
+    def _compute_comb(self, inst) -> int:
+        policy = self.policy
+        netlist = self.netlist
+        lib = netlist.library
+        net_len = self.topology.net_len
+        out = inst.output_net
+        load = self._net_load.get(out, 0.0)
+        cell = inst.cell
+        best_arr = -np.inf
+        best_net = None
+        in_slews = []
+        ops = 0
+        for net_name in inst.input_nets:
+            if net_name == netlist.clock_net:
+                continue
+            a_in = self._arrival.get(net_name, 0.0)
+            s_in = self._slew.get(net_name, PI_SLEW)
+            in_slews.append(s_in)
+            w_delay = policy.wire_delay(net_len.get(net_name, 0.0), cell.input_cap, lib)
+            w_delay += policy.si_bump(
+                net_len.get(net_name, 0.0), self._congestion_at(net_name)
+            )
+            cand = a_in + w_delay
+            ops += 1
+            if cand > best_arr:
+                best_arr = cand
+                best_net = net_name
+        s_in = policy.merge_slew(in_slews) if in_slews else PI_SLEW
+        gate_delay = cell.delay(load, s_in) * policy.corner.delay_factor * policy.stage_derate()
+        self._arrival[out] = best_arr + gate_delay
+        self._slew[out] = cell.output_slew(load)
+        self._pred[out] = best_net
+        return ops
+
+    def _compute_seq_min(self, inst) -> None:
+        policy = self.policy
+        out = inst.output_net
+        launch = self.skews.get(inst.name, 0.0)
+        load = self._net_load.get(out, 0.0)
+        self._arrival_min[out] = (
+            launch
+            + (DFF_CLK_TO_Q + inst.cell.drive_resistance * load)
+            * policy.corner.delay_factor
+            * policy.early_derate()
+        )
+
+    def _compute_comb_min(self, inst) -> int:
+        policy = self.policy
+        netlist = self.netlist
+        lib = netlist.library
+        net_len = self.topology.net_len
+        early = policy.early_derate()
+        out = inst.output_net
+        load = self._net_load.get(out, 0.0)
+        cell = inst.cell
+        fastest = np.inf
+        for net_name in inst.input_nets:
+            if net_name == netlist.clock_net:
+                continue
+            a_in = self._arrival_min.get(net_name, 0.0)
+            w_delay = policy.wire_delay(net_len.get(net_name, 0.0), cell.input_cap, lib)
+            fastest = min(fastest, a_in + w_delay * early)
+        if np.isinf(fastest):
+            fastest = 0.0
+        gate_delay = cell.delay(load, PI_SLEW) * policy.corner.delay_factor * early
+        self._arrival_min[out] = fastest + gate_delay
+        return 1
+
+    def _node_state(self, out_net: str) -> Tuple:
+        return (
+            self._arrival.get(out_net),
+            self._slew.get(out_net),
+            self._arrival_min.get(out_net),
+        )
+
+    # ------------------------------------------------------------------
+    def full_propagate(self) -> int:
+        """Propagate every node from scratch; returns propagation ops.
+
+        Visits nets, startpoints and combinational instances in exactly
+        the historical ``analyze`` order.  Also (re)builds the topology
+        if the netlist's ``structure_version`` moved since it was built.
+        """
+        if self.topology.stale:
+            self.topology.rebuild()
+        netlist = self.netlist
+        topo = self.topology
+        ops = 0
+
+        self._net_load = {}
+        for net_name in netlist.nets:
+            if net_name == netlist.clock_net:
+                continue
+            self._net_load[net_name] = self._net_load_of(net_name)
+
+        self._arrival = {}
+        self._slew = {}
+        self._pred = {}
+        self._arrival_min = {}
+        for pi in netlist.primary_inputs:
+            if pi == netlist.clock_net:
+                continue
+            self._arrival[pi] = 0.0
+            self._slew[pi] = PI_SLEW
+            self._pred[pi] = None
+        for inst in netlist.sequential_instances():
+            ops += self._compute_seq(inst)
+        for name in topo.order:
+            ops += self._compute_comb(netlist.instances[name])
+
+        if self.check_hold:
+            for pi in netlist.primary_inputs:
+                if pi != netlist.clock_net:
+                    self._arrival_min[pi] = 0.0
+            for inst in netlist.sequential_instances():
+                self._compute_seq_min(inst)
+            for name in topo.order:
+                ops += self._compute_comb_min(netlist.instances[name])
+
+        self._known = set(netlist.instances)
+        self._propagated = True
+        self._full_ops = ops
+        self._ops_pending = ops
+        self.stats.full_propagates += 1
+        return ops
+
+    # ------------------------------------------------------------------
+    def _levelize_new(self, new_names: List[str]) -> None:
+        """Levelize instances spliced in since the last propagation and
+        raise downstream levels along their forward cones."""
+        netlist = self.netlist
+        level = self.topology.level
+        pending = list(new_names)
+        while pending:
+            progressed = []
+            stuck = []
+            for name in pending:
+                inst = netlist.instances[name]
+                if inst.cell.is_sequential:
+                    progressed.append(name)
+                    continue
+                best = 0
+                ok = True
+                for net_name in inst.input_nets:
+                    if net_name == netlist.clock_net:
+                        continue
+                    driver = netlist.nets[net_name].driver
+                    if driver is None or netlist.instances[driver].cell.is_sequential:
+                        continue
+                    if driver not in level:
+                        ok = False
+                        break
+                    best = max(best, level[driver])
+                if not ok:
+                    stuck.append(name)
+                    continue
+                level[name] = best + 1
+                progressed.append(name)
+            if not progressed:
+                raise RuntimeError(
+                    f"cannot levelize new instances {stuck}: "
+                    "combinational cycle or dangling driver"
+                )
+            pending = stuck
+        # raise levels forward so the worklist heap stays topological
+        queue = [n for n in new_names if n in level]
+        while queue:
+            name = queue.pop(0)
+            base = level[name]
+            out = netlist.instances[name].output_net
+            for sink_name, _ in netlist.nets[out].sinks:
+                sink = netlist.instances[sink_name]
+                if sink.cell.is_sequential:
+                    continue
+                if level[sink_name] <= base:
+                    level[sink_name] = base + 1
+                    queue.append(sink_name)
+
+    def update(self, changed: Iterable[str]) -> int:
+        """Re-propagate the forward cones of ``changed`` instances.
+
+        ``changed`` names instances whose cell was swapped
+        (``replace_cell``) or that were newly spliced in
+        (``insert_buffer``).  Returns the number of nodes recomputed;
+        the corresponding ops are charged to the next ``report()``.
+        Propagation of a cone stops at nodes whose recomputed
+        ``(arrival, slew)`` state is bitwise unchanged.
+        """
+        if not self._propagated:
+            raise RuntimeError("full_propagate() must run before update()")
+        netlist = self.netlist
+        names = sorted(set(changed))
+        new_names = [n for n in names if n not in self._known]
+        if new_names:
+            self._levelize_new(new_names)
+
+        # dirty sets as insertion-ordered dicts (deterministic iteration)
+        dirty_nets: Dict[str, None] = {}
+        dirty_seq: Dict[str, None] = {}
+        dirty_comb: Dict[str, None] = {}
+
+        def mark(inst_name: str) -> None:
+            if netlist.instances[inst_name].cell.is_sequential:
+                dirty_seq[inst_name] = None
+            else:
+                dirty_comb[inst_name] = None
+
+        for name in names:
+            inst = netlist.instances[name]
+            mark(name)
+            if name in self._known:
+                # cell swap: input caps changed -> predecessor loads change
+                for net_name in inst.input_nets:
+                    if net_name == netlist.clock_net:
+                        continue
+                    dirty_nets[net_name] = None
+                    driver = netlist.nets[net_name].driver
+                    if driver is not None:
+                        mark(driver)
+            else:
+                # splice: connected nets change length *and* load, which
+                # moves every sink's input wire delay
+                touched = [
+                    n for n in inst.input_nets if n != netlist.clock_net
+                ] + [inst.output_net]
+                for net_name in touched:
+                    self.topology.net_len[net_name] = self.placement.net_length(net_name)
+                    dirty_nets[net_name] = None
+                    net = netlist.nets[net_name]
+                    if net.driver is not None:
+                        mark(net.driver)
+                    for sink_name, _ in net.sinks:
+                        if not netlist.instances[sink_name].cell.is_sequential:
+                            mark(sink_name)
+                self._known.add(name)
+                # keep the full-run cost model current: a from-scratch
+                # propagation now also visits this instance
+                if inst.cell.is_sequential:
+                    self._full_ops += 1
+                else:
+                    self._full_ops += sum(
+                        1 for n in inst.input_nets if n != netlist.clock_net
+                    )
+                    if self.check_hold:
+                        self._full_ops += 1
+
+        for net_name in dirty_nets:
+            self._net_load[net_name] = self._net_load_of(net_name)
+
+        level = self.topology.level
+        ops = 0
+        nodes = 0
+        heap: List[Tuple[int, str]] = []
+        scheduled = set()
+        processed = set()
+
+        def schedule(inst_name: str) -> None:
+            if inst_name in scheduled or inst_name in processed:
+                return
+            scheduled.add(inst_name)
+            heapq.heappush(heap, (level[inst_name], inst_name))
+
+        def fanout_changed(out_net: str) -> None:
+            for sink_name, _ in netlist.nets[out_net].sinks:
+                if not netlist.instances[sink_name].cell.is_sequential:
+                    schedule(sink_name)
+
+        for name in dirty_seq:
+            inst = netlist.instances[name]
+            before = self._node_state(inst.output_net)
+            ops += self._compute_seq(inst)
+            if self.check_hold:
+                self._compute_seq_min(inst)
+            nodes += 1
+            if self._node_state(inst.output_net) != before:
+                fanout_changed(inst.output_net)
+
+        for name in dirty_comb:
+            schedule(name)
+        while heap:
+            _, name = heapq.heappop(heap)
+            scheduled.discard(name)
+            processed.add(name)
+            inst = netlist.instances[name]
+            before = self._node_state(inst.output_net)
+            ops += self._compute_comb(inst)
+            if self.check_hold:
+                ops += self._compute_comb_min(inst)
+            nodes += 1
+            if self._node_state(inst.output_net) != before:
+                fanout_changed(inst.output_net)
+
+        self._ops_pending += ops
+        self.stats.incremental_updates += 1
+        self.stats.nodes_propagated += nodes
+        return nodes
+
+    # ------------------------------------------------------------------
+    def report(self, clock_period: float) -> TimingReport:
+        """Materialize endpoint slacks from the current propagation state.
+
+        Charges the policy's runtime proxy for the propagation ops
+        accumulated since the last report plus the per-endpoint work,
+        then lets the policy post-process (PBA).
+        """
+        if clock_period <= 0:
+            raise ValueError("clock period must be positive")
+        if not self._propagated:
+            raise RuntimeError("full_propagate() must run before report()")
+        netlist = self.netlist
+        lib = netlist.library
+        policy = self.policy
+        corner = policy.corner
+        net_len = self.topology.net_len
+        skews = self.skews
+        arrival = self._arrival
+        arrival_min = self._arrival_min
+        slew = self._slew
+        pred = self._pred
+        ops = self._ops_pending
+
+        report = TimingReport(
+            engine=policy.engine_name, corner=corner.name, clock_period=clock_period
+        )
+
+        def trace(net_name: str) -> Tuple[int, float, float, int, List[str]]:
+            """Walk worst path backwards: (depth, wire_delay, cell_delay, max_fanout, instances)."""
+            depth = 0
+            wire_total = 0.0
+            fan_max = 0
+            insts: List[str] = []
+            cur: Optional[str] = net_name
+            visited = 0
+            while cur is not None and visited < 10_000:
+                visited += 1
+                fan_max = max(fan_max, netlist.net_fanout(cur))
+                wire_total += net_len.get(cur, 0.0) * lib.wire_r_per_um
+                driver = netlist.nets[cur].driver
+                if driver is None or netlist.instances[driver].cell.is_sequential:
+                    break
+                insts.append(driver)
+                depth += 1
+                cur = pred.get(cur)
+            return depth, wire_total, 0.0, fan_max, insts
+
+        # endpoints: DFF D inputs
+        for inst in netlist.sequential_instances():
+            d_net = inst.input_nets[0]
+            a = arrival.get(d_net, 0.0)
+            w_delay = policy.wire_delay(net_len.get(d_net, 0.0), inst.cell.input_cap, lib)
+            w_delay += policy.si_bump(net_len.get(d_net, 0.0), self._congestion_at(d_net))
+            a = a + w_delay
+            capture = skews.get(inst.name, 0.0)
+            required = clock_period + capture - DFF_SETUP * corner.delay_factor
+            hold_slack = float("inf")
+            if self.check_hold:
+                a_min = arrival_min.get(d_net, 0.0)
+                w_min = policy.wire_delay(
+                    net_len.get(d_net, 0.0), inst.cell.input_cap, lib
+                ) * policy.early_derate()
+                hold_required = capture + DFF_HOLD * corner.delay_factor
+                hold_slack = (a_min + w_min) - hold_required
+            depth, wire_total, _, fan_max, path_insts = trace(d_net)
+            ep = EndpointTiming(
+                endpoint=f"{inst.name}/D",
+                kind="setup",
+                arrival=a,
+                required=required,
+                slack=required - a,
+                path_depth=depth,
+                path_wire_delay=wire_total,
+                path_cell_delay=a - wire_total,
+                path_max_fanout=fan_max,
+                path_slew=slew.get(d_net, PI_SLEW),
+                hold_slack=hold_slack,
+            )
+            report.endpoints[ep.endpoint] = ep
+            report.paths[ep.endpoint] = path_insts
+            ops += 2
+        # endpoints: primary outputs
+        for po in netlist.primary_outputs:
+            a = arrival.get(po, 0.0)
+            depth, wire_total, _, fan_max, path_insts = trace(po)
+            ep = EndpointTiming(
+                endpoint=f"{po}/PO",
+                kind="output",
+                arrival=a,
+                required=clock_period,
+                slack=clock_period - a,
+                path_depth=depth,
+                path_wire_delay=wire_total,
+                path_cell_delay=a - wire_total,
+                path_max_fanout=fan_max,
+                path_slew=slew.get(po, PI_SLEW),
+            )
+            report.endpoints[ep.endpoint] = ep
+            report.paths[ep.endpoint] = path_insts
+            ops += 2
+
+        report.runtime_proxy = policy.runtime_proxy(ops)
+        report = policy.finalize_report(report)
+
+        endpoint_ops = 2 * len(report.endpoints)
+        self.stats.proxy_executed += report.runtime_proxy
+        self.stats.proxy_full_equivalent += policy.full_runtime_proxy(
+            self._full_ops + endpoint_ops
+        )
+        self._ops_pending = 0
+        return report

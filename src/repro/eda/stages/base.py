@@ -36,6 +36,7 @@ from repro.eda.netlist import Netlist
 from repro.eda.opt import OptResult
 from repro.eda.placement import Placement
 from repro.eda.routing import DetailedRouteResult, GlobalRouteResult
+from repro.eda.sta import StaStats, TimingGraph, TimingTopology
 from repro.eda.synthesis import DesignSpec
 
 
@@ -61,6 +62,15 @@ class PipelineState:
     congestion: Optional[np.ndarray] = None
     opt: Optional[OptResult] = None
     droute: Optional[DetailedRouteResult] = None
+    #: corner-independent STA structure (levels, net lengths), built at
+    #: CTS and shared by every downstream timing query.  Deep-copying
+    #: the state preserves its aliasing onto ``netlist``/``placement``.
+    timing_topology: Optional[TimingTopology] = None
+    #: the optimizer's live incremental kernel (graph engine view)
+    timing_graph: Optional[TimingGraph] = None
+    #: timing-work accounting for *this* run's stage suffix; the runner
+    #: copies it into the StageReport and resets it on cache resume
+    sta_stats: Optional[StaStats] = None
 
 
 class FlowStage:

@@ -6,6 +6,7 @@ from typing import Sequence
 
 from repro.eda.cts import ClockTreeSynthesizer
 from repro.eda.flow import FlowOptions, StepLog
+from repro.eda.sta import TimingTopology
 from repro.eda.stages.base import FlowStage, PipelineState
 
 
@@ -25,6 +26,10 @@ class CtsStage(FlowStage):
             state.netlist, state.placement, seeds[0]
         )
         state.clock_tree = cts
+        # timing structure is now final up to cell swaps: levelize once
+        # here and let every downstream timing query (opt's incremental
+        # kernel, droute's signoff) share the topology
+        state.timing_topology = TimingTopology(state.netlist, state.placement)
         state.result.logs.append(
             StepLog("cts", {"skew": cts.global_skew, "buffers": cts.n_buffers,
                             "buffer_area": cts.buffer_area},

@@ -3,6 +3,14 @@
 Note the knob subset includes ``target_clock_ghz``: this is the first
 stage where the clock target enters the pipeline, so a target-frequency
 sweep at a fixed seed shares its whole synth..groute prefix.
+
+The optimizer queries one incremental
+:class:`~repro.eda.sta.graph.TimingGraph` (built over the topology the
+CTS stage levelized) instead of re-running full STA per pass; the
+kernel's work accounting flows into ``state.sta_stats`` for the
+executor's ``sta.*`` metrics.  The StepLog stays byte-identical to the
+historical full-reanalysis loop — incremental reports are bit-identical,
+so every decision, count and WNS matches.
 """
 
 from __future__ import annotations
@@ -11,8 +19,8 @@ from typing import Sequence
 
 from repro.eda.flow import FlowOptions, StepLog
 from repro.eda.opt import TimingOptimizer
+from repro.eda.sta import GraphSTA, StaStats
 from repro.eda.stages.base import FlowStage, PipelineState
-from repro.eda.timing import GraphSTA
 
 
 class OptStage(FlowStage):
@@ -34,11 +42,21 @@ class OptStage(FlowStage):
             guardband=options.opt_guardband,
             recover_power=options.power_recovery,
         )
+        engine = GraphSTA()
+        graph = engine.build_graph(
+            state.netlist, state.placement,
+            skews=state.clock_tree.skews, congestion=state.congestion,
+            topology=state.timing_topology,
+        )
         opt = optimizer.optimize(
-            state.netlist, state.placement, options.clock_period_ps, GraphSTA(),
-            state.clock_tree.skews, state.congestion, seeds[0]
+            state.netlist, state.placement, options.clock_period_ps, engine,
+            state.clock_tree.skews, state.congestion, seeds[0], graph=graph,
         )
         state.opt = opt
+        state.timing_graph = graph
+        if state.sta_stats is None:
+            state.sta_stats = StaStats()
+        state.sta_stats.add(graph.stats)
         state.result.logs.append(
             StepLog("opt", {"passes": opt.passes, "upsizes": opt.upsizes,
                             "downsizes": opt.downsizes, "vt_swaps": opt.vt_swaps,

@@ -96,6 +96,14 @@ class StageReport:
     run_stages: List[str] = field(default_factory=list)
     #: runtime proxy of the stages actually executed (the suffix)
     executed_proxy: float = 0.0
+    #: timing-kernel accounting for the executed suffix (see
+    #: repro.eda.sta.graph.StaStats): full propagations, incremental
+    #: updates, nodes re-propagated, and the proxy the incremental
+    #: path avoided versus full re-analysis per query
+    sta_full: int = 0
+    sta_incremental: int = 0
+    sta_nodes: int = 0
+    sta_proxy_saved: float = 0.0
 
     @property
     def n_hits(self) -> int:
@@ -158,6 +166,9 @@ def execute_pipeline(
                 state.result.design = design_name or _design_name(design)
                 state.result.options = options
                 state.result.seed = reported_seed
+                # timing work recorded by the snapshot belongs to the
+                # job that created it; this job only pays for its suffix
+                state.sta_stats = None
                 start = i + 1
                 break
 
@@ -188,6 +199,12 @@ def execute_pipeline(
         )
         if cache is not None and stage.cacheable:
             cache.put(keys[i], stage.name, state)
+
+    if state.sta_stats is not None:
+        report.sta_full += state.sta_stats.full_propagates
+        report.sta_incremental += state.sta_stats.incremental_updates
+        report.sta_nodes += state.sta_stats.nodes_propagated
+        report.sta_proxy_saved += state.sta_stats.proxy_saved
 
     state.result.runtime_proxy = sum(log.runtime_proxy for log in state.result.logs)
     return state.result

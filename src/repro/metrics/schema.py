@@ -68,6 +68,14 @@ VOCABULARY: Dict[str, tuple] = {
     "exec.stage.hit": ("count", "pipeline stages served from the stage-prefix cache"),
     "exec.stage.miss": ("count", "pipeline stages actually executed by the job"),
     "stage.runtime_proxy": ("work", "tool cost actually executed (suffix only on a prefix resume)"),
+    # incremental-STA kernel events: the stage layer threads a shared
+    # TimingGraph through the pipeline; each job reports how timing was
+    # queried (full propagations vs. dirty-cone updates) and the proxy
+    # the incremental path avoided paying
+    "sta.full": ("count", "full timing-graph propagations run by the job"),
+    "sta.incremental.updates": ("count", "incremental dirty-cone timing updates"),
+    "sta.incremental.nodes": ("count", "graph nodes re-propagated by incremental updates"),
+    "sta.incremental.proxy_saved": ("work", "timing proxy avoided vs. full re-analysis per query"),
 }
 
 #: the executor-event subset of the vocabulary, emitted per job by an
@@ -85,6 +93,10 @@ EXECUTOR_EVENT_METRICS = (
     "exec.stage.hit",
     "exec.stage.miss",
     "stage.runtime_proxy",
+    "sta.full",
+    "sta.incremental.updates",
+    "sta.incremental.nodes",
+    "sta.incremental.proxy_saved",
 )
 
 # one or more dot-separated lowercase segments after the first —

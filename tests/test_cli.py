@@ -89,6 +89,22 @@ def test_explore_with_stage_cache(capsys):
     assert code == 0
 
 
+def test_metrics_summary_reports_incremental_timing(capsys, tmp_path):
+    out_file = tmp_path / "campaign.jsonl"
+    assert main(["explore", "--design", "PHY", "--rounds", "1",
+                 "--concurrent", "2", "--seed", "1", "--stage-cache",
+                 "--metrics-out", str(out_file)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "summary", "--in", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    # the staged path ran real timing, so the sta.* events are nonzero
+    # and the summary surfaces the incremental-vs-full digest
+    assert "sta.incremental.updates" in out
+    assert "timing:" in out
+    assert "incremental updates vs" in out
+    assert "full propagations" in out
+
+
 def test_cache_stats_command(capsys, tmp_path):
     cache_dir = tmp_path / "cache"
     assert main(["explore", "--design", "PHY", "--rounds", "1",
