@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint smoke metrics-smoke stage-smoke sta-smoke bench
+.PHONY: test lint smoke metrics-smoke stage-smoke sta-smoke bench-trajectory bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -53,6 +53,20 @@ sta-smoke:
 		tests/eda/test_sta_equivalence.py tests/eda/test_sta_incremental.py
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/incremental_sta_benchmark.py --smoke
+
+# STA benchmark trajectory: run both STA benchmarks (vectorized-kernel
+# speedup on the largest corpus design, incremental-update work saved
+# on PULPino), merge their summaries into BENCH_sta.json, and fail on
+# regression against the committed baseline.  Thresholds are ratios
+# measured within one run, so they carry across machines.
+bench-trajectory:
+	rm -f BENCH_sta.json
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/vectorized_sta_benchmark.py --smoke --json BENCH_sta.json
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/incremental_sta_benchmark.py --smoke --json BENCH_sta.json
+	$(PYTHON) benchmarks/check_bench_regression.py BENCH_sta.json \
+		benchmarks/BENCH_sta_baseline.json
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,92 @@
+"""Gate ``BENCH_sta.json`` against the committed baseline.
+
+``make bench-trajectory`` runs both STA benchmarks, which merge their
+summaries into ``BENCH_sta.json``; this script compares that file to
+``benchmarks/BENCH_sta_baseline.json`` and exits 1 on regression.
+
+What counts as a regression is chosen to be machine-independent:
+
+- correctness flags (``bit_identical``, ``qor_identical``) must hold —
+  they are deterministic;
+- the incremental ``work_ratio`` is a runtime-*proxy* ratio, also
+  deterministic: it must stay within ``--proxy-tolerance`` (default
+  25%) of the baseline and above the 2x floor;
+- the vectorized ``speedup`` is a wall-clock ratio measured on the
+  same machine in the same run, so it cancels absolute machine speed
+  but still jitters under CI load: it only has to clear the 5x floor
+  and ``--speedup-fraction`` (default 35%) of the baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_sta.json \
+        benchmarks/BENCH_sta_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("current", help="freshly generated BENCH_sta.json")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("--proxy-tolerance", type=float, default=0.25,
+                        help="allowed fractional drop in work_ratio")
+    parser.add_argument("--speedup-fraction", type=float, default=0.35,
+                        help="required fraction of the baseline speedup")
+    parser.add_argument("--speedup-floor", type=float, default=5.0,
+                        help="absolute minimum vectorized speedup")
+    args = parser.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    failures = []
+
+    vec_now = current.get("vectorized")
+    vec_base = baseline.get("vectorized")
+    if vec_now is None or vec_base is None:
+        failures.append("missing 'vectorized' section")
+    else:
+        if not vec_now.get("bit_identical"):
+            failures.append("vectorized kernel is no longer bit-identical")
+        floor = max(args.speedup_floor,
+                    args.speedup_fraction * vec_base["speedup"])
+        if vec_now["speedup"] < floor:
+            failures.append(
+                f"vectorized speedup regressed: {vec_now['speedup']:.1f}x "
+                f"< {floor:.1f}x (baseline {vec_base['speedup']:.1f}x)")
+        print(f"vectorized: {vec_now['speedup']:.1f}x "
+              f"(baseline {vec_base['speedup']:.1f}x, floor {floor:.1f}x)")
+
+    inc_now = current.get("incremental")
+    inc_base = baseline.get("incremental")
+    if inc_now is None or inc_base is None:
+        failures.append("missing 'incremental' section")
+    else:
+        if not inc_now.get("qor_identical"):
+            failures.append("incremental STA changed the optimizer QoR")
+        floor = max(2.0, (1.0 - args.proxy_tolerance) * inc_base["work_ratio"])
+        if inc_now["work_ratio"] < floor:
+            failures.append(
+                f"incremental work_ratio regressed: "
+                f"{inc_now['work_ratio']:.2f}x < {floor:.2f}x "
+                f"(baseline {inc_base['work_ratio']:.2f}x)")
+        print(f"incremental: {inc_now['work_ratio']:.2f}x less timing work "
+              f"(baseline {inc_base['work_ratio']:.2f}x, floor {floor:.2f}x)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK: no regression vs committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ Checks (exit code 1 on failure):
 
 Smoke mode (``--smoke``) shrinks the design so the whole benchmark
 runs in a few seconds for CI while still asserting everything above.
+``--json PATH`` merges a machine-readable summary into ``PATH`` under
+the ``"incremental"`` key (see ``make bench-trajectory``).
 
 Usage::
 
@@ -78,6 +80,8 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7, help="flow seed")
     parser.add_argument("--smoke", action="store_true",
                         help="small CI run: scale 0.5, same assertions")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="merge results under 'incremental' in PATH")
     args = parser.parse_args(argv)
 
     scale = 0.5 if args.smoke else args.scale
@@ -136,6 +140,22 @@ def main(argv=None) -> int:
           f"{incr.sta_stats.nodes_propagated} nodes re-propagated "
           f"(of {n_insts * incr.sta_stats.incremental_updates} "
           f"full-repropagation equivalent)")
+    qor_identical = bool(same_wns and same_slacks and same_decisions
+                         and same_power)
+    if args.json:
+        from vectorized_sta_benchmark import merge_json
+
+        merge_json(args.json, "incremental", {
+            "design": "pulpino",
+            "scale": scale,
+            "instances": n_insts,
+            "proxy_full": work_full,
+            "proxy_incremental": work_incr,
+            "work_ratio": round(ratio, 2),
+            "updates": incr.sta_stats.incremental_updates,
+            "qor_identical": qor_identical,
+        })
+        print(f"wrote 'incremental' section to {args.json}")
     if incr.sta_stats.incremental_updates < 1:
         print("FAIL: the incremental path never exercised update()")
         return 1

@@ -1,0 +1,184 @@
+"""Vectorized-STA benchmark: full_propagate, struct-of-arrays vs scalar.
+
+The STA kernel's ``full_propagate`` was rewritten as flat numpy
+struct-of-arrays sweeps (levelized frontier arrays, CSR fanin segments
+with ``reduceat`` merges, batched delay-policy evaluation).  This
+benchmark builds the **largest corpus design** (the GPU shader profile)
+through placement and global routing, then times ``full_propagate`` on
+both kernels from the same inputs:
+
+- ``vectorize=True``: the struct-of-arrays numpy kernel (the default);
+- ``vectorize=False``: the historical scalar dict-and-loop kernel,
+  kept as an honest comparator (plain dicts, no array façades).
+
+Checks (exit code 1 on failure):
+
+- every propagated state map (late/early arrivals, slews, predecessor
+  chains) and the resulting :class:`TimingReport` are **bit-identical**
+  across the two kernels, for both engines at the signoff corner mix;
+- the vectorized kernel is >= 5x faster on ``full_propagate``.
+
+``--json PATH`` merges a machine-readable summary into ``PATH`` under
+the ``"vectorized"`` key (see ``make bench-trajectory``); ``--smoke``
+reduces repetitions for CI while keeping every assertion.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/vectorized_sta_benchmark.py
+    PYTHONPATH=src python benchmarks/vectorized_sta_benchmark.py --smoke \
+        --json BENCH_sta.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.generators import design_profile
+from repro.eda.cts import ClockTreeSynthesizer
+from repro.eda.floorplan import make_floorplan
+from repro.eda.library import make_default_library
+from repro.eda.placement import QuadraticPlacer
+from repro.eda.routing import GlobalRouter
+from repro.eda.sta import GraphSTA, SignoffSTA, SLOW
+from repro.eda.synthesis import synthesize
+
+CLOCK = 1100.0
+STATE_MAPS = ("_arrival", "_arrival_min", "_slew", "_pred")
+
+
+def build_state(seed: int):
+    """Implement the GPU shader profile up to the timing stage."""
+    lib = make_default_library()
+    spec = design_profile("gpu_shader")
+    netlist = synthesize(spec, lib, effort=0.6, seed=seed)
+    floorplan = make_floorplan(netlist, utilization=0.7)
+    placement = QuadraticPlacer().place(netlist, floorplan, seed=seed + 1)
+    clock_tree = ClockTreeSynthesizer(0.5).synthesize(netlist, placement, seed + 2)
+    congestion = GlobalRouter().route(placement, seed=seed + 3).congestion_map()
+    return netlist, placement, clock_tree.skews, congestion
+
+
+def time_full_propagate(graph, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one ``full_propagate`` call."""
+    graph.full_propagate()  # warm: SoA build, cell registry, allocations
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        graph.full_propagate()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def states_identical(vec, scalar) -> bool:
+    for attr in STATE_MAPS:
+        if dict(getattr(vec, attr).items()) != dict(getattr(scalar, attr).items()):
+            print(f"FAIL: {attr} differs between kernels")
+            return False
+    return True
+
+
+def reports_identical(got, want) -> bool:
+    if list(got.endpoints) != list(want.endpoints):
+        return False
+    for name in got.endpoints:
+        a, b = got.endpoints[name], want.endpoints[name]
+        if (a.arrival, a.slack, a.hold_slack, a.path_slew) != (
+                b.arrival, b.slack, b.hold_slack, b.path_slew):
+            return False
+    return got.runtime_proxy == want.runtime_proxy and got.paths == want.paths
+
+
+def merge_json(path: str, key: str, payload: dict) -> None:
+    """Merge ``payload`` under ``key`` into the JSON file at ``path``."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        data = {}
+    data[key] = payload
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=7, help="flow seed")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required vectorized/scalar speedup")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI run: fewer repetitions, same assertions")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="merge results under 'vectorized' in PATH")
+    args = parser.parse_args(argv)
+    repeats = 5 if args.smoke else args.repeats
+
+    netlist, placement, skews, congestion = build_state(args.seed)
+    n_insts = len(netlist.instances)
+    print(f"gpu_shader ({n_insts} instances, {len(netlist.nets)} nets), "
+          f"seed={args.seed}, best of {repeats}")
+
+    # --- bit-identity across both engines --------------------------------
+    identical = True
+    for engine in (GraphSTA(SLOW), SignoffSTA(SLOW)):
+        pair = {}
+        for vectorize in (True, False):
+            g = engine.build_graph(netlist, placement, skews=skews,
+                                   congestion=congestion, check_hold=True,
+                                   vectorize=vectorize)
+            g.full_propagate()
+            pair[vectorize] = g
+        if not states_identical(pair[True], pair[False]):
+            identical = False
+        if not reports_identical(pair[True].report(CLOCK),
+                                 pair[False].report(CLOCK)):
+            print(f"FAIL: {engine.engine_name} reports differ between kernels")
+            identical = False
+    if identical:
+        print("bit-identical: state maps and reports, both engines "
+              "(signoff corner, hold + PBA)")
+
+    # --- wall clock -------------------------------------------------------
+    signoff = SignoffSTA(SLOW)
+    t_vec = time_full_propagate(
+        signoff.build_graph(netlist, placement, skews=skews,
+                            congestion=congestion, check_hold=True,
+                            vectorize=True), repeats)
+    t_scalar = time_full_propagate(
+        signoff.build_graph(netlist, placement, skews=skews,
+                            congestion=congestion, check_hold=True,
+                            vectorize=False), repeats)
+    speedup = t_scalar / t_vec if t_vec > 0 else float("inf")
+    print(f"full_propagate: scalar={t_scalar * 1e3:.2f} ms  "
+          f"vectorized={t_vec * 1e3:.2f} ms  -> {speedup:.1f}x")
+
+    if args.json:
+        merge_json(args.json, "vectorized", {
+            "design": "gpu_shader",
+            "instances": n_insts,
+            "scalar_ms": round(t_scalar * 1e3, 4),
+            "vectorized_ms": round(t_vec * 1e3, 4),
+            "speedup": round(speedup, 2),
+            "bit_identical": identical,
+        })
+        print(f"wrote 'vectorized' section to {args.json}")
+
+    if not identical:
+        return 1
+    if speedup < args.min_speedup:
+        print(f"FAIL: expected >= {args.min_speedup:.1f}x speedup, "
+              f"got {speedup:.1f}x")
+        return 1
+    print(f"OK: >= {args.min_speedup:.1f}x faster at bitwise-identical reports")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

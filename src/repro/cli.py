@@ -25,6 +25,7 @@ the executor's stats line (jobs, cache hits, retries, wall time).
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -194,9 +195,17 @@ def _cmd_metrics_summary(args) -> int:
           f"designs: {', '.join(designs)}")
     if server.skipped_lines:
         print(f"({server.skipped_lines} corrupt line(s) skipped at load)")
+    if server.null_values:
+        print(f"({server.null_values} null value(s) ignored at load)")
     by_metric = {}
+    dropped = 0
     for record in records:
+        if not math.isfinite(record.value):
+            dropped += 1  # sentinel, not a measurement: keep stats finite
+            continue
         by_metric.setdefault(record.metric, []).append(record.value)
+    if dropped:
+        print(f"({dropped} non-finite value(s) excluded from statistics)")
     print(f"{'metric':<24} {'count':>6} {'mean':>12} {'min':>12} {'max':>12}")
     for metric in sorted(by_metric):
         values = by_metric[metric]

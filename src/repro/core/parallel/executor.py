@@ -29,6 +29,11 @@ import json
 import os
 import tempfile
 import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -277,7 +282,14 @@ class FlowExecutor:
         ``<cache_dir>/cache-stats.json`` (read by ``repro cache stats``).
         Counters are summed into any prior file so sequential campaigns
         over one cache directory accumulate; written at most once per
-        executor, atomically, and never fails the campaign."""
+        executor, atomically, and never fails the campaign.
+
+        The read-merge-write runs under an exclusive ``flock`` on a
+        sidecar lockfile: two executors closing at once over the same
+        cache directory would otherwise both read the same prior file
+        and the second ``os.replace`` would silently drop the first
+        executor's counters.
+        """
         if (self.cache is None or self.cache.cache_dir is None
                 or self._cache_stats_persisted):
             return
@@ -297,28 +309,34 @@ class FlowExecutor:
             "runtime_proxy_executed": self.stats.runtime_proxy_executed,
         }
         try:
+            lock_fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
             try:
-                with open(path) as fh:
-                    prior = json.load(fh)
-            except (OSError, ValueError):
-                prior = {}
-            for key, value in payload.items():
-                if isinstance(value, dict):
-                    merged = dict(prior.get(key, {}) or {})
-                    for stage, count in value.items():
-                        merged[stage] = merged.get(stage, 0) + count
-                    payload[key] = merged
-                else:
-                    payload[key] = value + prior.get(key, 0)
-            payload["schema"] = CACHE_SCHEMA
-            fd, tmp = tempfile.mkstemp(dir=self.cache.cache_dir, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh)
-                os.replace(tmp, path)
+                if fcntl is not None:
+                    fcntl.flock(lock_fd, fcntl.LOCK_EX)
+                try:
+                    with open(path) as fh:
+                        prior = json.load(fh)
+                except (OSError, ValueError):
+                    prior = {}
+                for key, value in payload.items():
+                    if isinstance(value, dict):
+                        merged = dict(prior.get(key, {}) or {})
+                        for stage, count in value.items():
+                            merged[stage] = merged.get(stage, 0) + count
+                        payload[key] = merged
+                    else:
+                        payload[key] = value + prior.get(key, 0)
+                payload["schema"] = CACHE_SCHEMA
+                fd, tmp = tempfile.mkstemp(dir=self.cache.cache_dir, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "w") as fh:
+                        json.dump(payload, fh)
+                    os.replace(tmp, path)
+                finally:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
             finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+                os.close(lock_fd)  # closing drops the flock
         except (OSError, TypeError, ValueError):
             pass  # stats persistence must not fail the campaign
 

@@ -12,6 +12,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.eda.grid import bin_index
 from repro.eda.placement import AnnealingRefiner, Placement
 from repro.eda.routing import GlobalRouter
 
@@ -49,10 +50,10 @@ def congestion_net_weights(
             continue
         xs = [p[0] for p in points]
         ys = [p[1] for p in points]
-        i0 = max(0, min(nx - 1, int(min(xs) / fp.width * nx)))
-        i1 = max(0, min(nx - 1, int(max(xs) / fp.width * nx)))
-        j0 = max(0, min(ny - 1, int(min(ys) / fp.height * ny)))
-        j1 = max(0, min(ny - 1, int(max(ys) / fp.height * ny)))
+        i0 = bin_index(min(xs), fp.width, nx)
+        i1 = bin_index(max(xs), fp.width, nx)
+        j0 = bin_index(min(ys), fp.height, ny)
+        j1 = bin_index(max(ys), fp.height, ny)
         worst = float(cong[j0 : j1 + 1, i0 : i1 + 1].max())
         weights[net_name] = 1.0 + alpha * max(0.0, worst - threshold)
     return weights

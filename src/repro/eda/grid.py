@@ -1,0 +1,47 @@
+"""Shared gcell/bin index computation.
+
+Three layers historically hand-rolled the "which bin does this
+coordinate fall in" computation — :meth:`Placement.density_map`,
+the STA kernel's congestion lookup and
+:func:`repro.eda.congestion.congestion_net_weights` — with subtly
+different expressions (``x / bin_width`` vs ``x / extent * n``), so a
+coordinate exactly on a bin boundary (or off-core) could land in
+different bins depending on who asked.  These helpers are the single
+definition: floor of ``coord / extent * n_bins``, clamped to
+``[0, n_bins - 1]``, in both scalar and vectorized form.
+
+Clamping makes floor and truncate-toward-zero agree for every real
+input (negative coordinates clamp to bin 0 either way), so the scalar
+helper is bit-compatible with the historical ``int()``-based sites
+that divided by the full extent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def bin_index(coord: float, extent: float, n_bins: int) -> int:
+    """Bin of ``coord`` on ``[0, extent)`` split into ``n_bins`` bins.
+
+    Floor-based and clamped: coordinates below 0 map to bin 0,
+    coordinates at or beyond ``extent`` map to ``n_bins - 1``.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    return min(n_bins - 1, max(0, int(math.floor(coord / extent * n_bins))))
+
+
+def bin_indices(coords: np.ndarray, extent: float, n_bins: int) -> np.ndarray:
+    """Vectorized :func:`bin_index` over an array of coordinates."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    coords = np.asarray(coords, dtype=float)
+    raw = np.floor(coords / extent * n_bins).astype(np.int64)
+    return np.clip(raw, 0, n_bins - 1)

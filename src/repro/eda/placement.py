@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.eda.floorplan import Floorplan, ROW_HEIGHT
+from repro.eda.grid import bin_index
 from repro.eda.netlist import Netlist
 
 _CLIQUE_CAP = 8  # clique model samples at most this many pins per net
@@ -82,8 +83,8 @@ class Placement:
         bx = self.floorplan.width / nx
         by = self.floorplan.height / ny
         for name, (x, y) in self.positions.items():
-            i = min(nx - 1, max(0, int(x / bx)))
-            j = min(ny - 1, max(0, int(y / by)))
+            i = bin_index(x, self.floorplan.width, nx)
+            j = bin_index(y, self.floorplan.height, ny)
             grid[j, i] += self.netlist.instances[name].cell.area
         return grid / (bx * by)
 

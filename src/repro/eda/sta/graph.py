@@ -10,14 +10,34 @@ deltas) of the touched instances.  ``runtime_proxy`` is charged by the
 nodes actually propagated, so the Fig-8 cost axis stays honest while
 an optimizer loop queries timing incrementally.
 
+Full propagation is vectorized: the topology exposes a struct-of-arrays
+view (:class:`_TopoSoA` — per-net rows, a CSR of combinational fanin
+edges sorted by level, sink segments for load accumulation) and
+``full_propagate`` evaluates whole levels at a time with numpy segment
+reductions.  Dirty-cone ``update`` stays scalar — cones are small, and
+the scalar per-node methods remain the single definition the vector
+kernel must match.
+
 Bit-identity with the historical full-run engines is a hard contract
 (enforced against ``tests/eda/sta_reference.py``): every per-node
 value is computed by the *same float expressions in the same order*
-as the pre-refactor ``_BaseSTA.analyze``, and an incremental update
-stops propagating exactly where recomputed ``(arrival, slew)`` values
-are bitwise unchanged — recomputing a node whose inputs are bitwise
-identical reproduces its old value bitwise, so pruned cones cannot
-diverge from a from-scratch run.
+as the pre-refactor ``_BaseSTA.analyze``.  The vectorized kernel keeps
+that contract because
+
+- ``np.bincount``/``np.add.reduceat`` accumulate strictly left-to-right
+  (no pairwise summation), matching the Python ``sum`` over each net's
+  sinks and the per-node input loops;
+- per-level elementwise expressions are written with the same
+  association order as the scalar methods, so each float operation is
+  the identical IEEE-754 operation;
+- level-by-level evaluation is equivalent to topological-order
+  evaluation (every input of a level-L node is produced at a lower
+  level, by a sequential output, or at a primary input).
+
+An incremental update stops propagating exactly where recomputed
+``(arrival, slew)`` values are bitwise unchanged — recomputing a node
+whose inputs are bitwise identical reproduces its old value bitwise,
+so pruned cones cannot diverge from a from-scratch run.
 
 Invalidation rules (see docs/substrate.md for the narrative version):
 
@@ -34,11 +54,12 @@ Invalidation rules (see docs/substrate.md for the narrative version):
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.eda.grid import bin_index, bin_indices
 from repro.eda.library import DFF_CLK_TO_Q, DFF_HOLD, DFF_SETUP
 from repro.eda.netlist import Netlist
 from repro.eda.placement import Placement
@@ -78,9 +99,262 @@ class StaStats:
         )
 
 
+class _NetIndex:
+    """Append-only net-name <-> row mapping shared by topology and state.
+
+    Rows are never reassigned: a rebuild only appends names that are
+    new since the last sync, so array state indexed by row stays valid
+    across topology rebuilds and buffer splices.
+    """
+
+    __slots__ = ("ids", "names")
+
+    def __init__(self):
+        self.ids: Dict[str, int] = {}
+        self.names: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def sync(self, net_names: Iterable[str]) -> None:
+        ids = self.ids
+        names = self.names
+        for name in net_names:
+            if name not in ids:
+                ids[name] = len(names)
+                names.append(name)
+
+    def add(self, name: str) -> int:
+        row = self.ids.get(name)
+        if row is None:
+            row = len(self.names)
+            self.ids[name] = row
+            self.names.append(name)
+        return row
+
+
+class _NetValueMap:
+    """``{net name: float}`` façade over a flat per-net value array.
+
+    Implements the dict surface the scalar compute methods and
+    ``report()`` use (``get``/``[]``/``in``/iteration), with presence
+    tracked in a boolean mask so absent keys behave exactly like
+    missing dict entries.  Rows come from a shared :class:`_NetIndex`;
+    writes to nets spliced in after construction grow the backing
+    arrays on demand.
+    """
+
+    __slots__ = ("_index", "values", "mask", "fill")
+
+    def __init__(
+        self,
+        index: _NetIndex,
+        fill: float = 0.0,
+        values: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ):
+        self._index = index
+        self.fill = fill
+        n = len(index)
+        self.values = np.full(n, fill, dtype=float) if values is None else values
+        self.mask = np.zeros(n, dtype=bool) if mask is None else mask
+
+    def _grow(self) -> None:
+        n = len(self._index)
+        old = self.values.shape[0]
+        size = max(n, 2 * old, 8)
+        values = np.full(size, self.fill, dtype=float)
+        values[:old] = self.values
+        mask = np.zeros(size, dtype=bool)
+        mask[:old] = self.mask[:old]
+        self.values = values
+        self.mask = mask
+
+    def __getitem__(self, key: str) -> float:
+        row = self._index.ids.get(key)
+        if row is None or row >= self.values.shape[0] or not self.mask[row]:
+            raise KeyError(key)
+        return self.values.item(row)
+
+    def get(self, key: str, default=None):
+        row = self._index.ids.get(key)
+        if row is None or row >= self.values.shape[0] or not self.mask[row]:
+            return default
+        return self.values.item(row)
+
+    def __setitem__(self, key: str, value: float) -> None:
+        row = self._index.add(key)
+        if row >= self.values.shape[0]:
+            self._grow()
+        self.values[row] = value
+        self.mask[row] = True
+
+    def __delitem__(self, key: str) -> None:
+        row = self._index.ids.get(key)
+        if row is None or row >= self.values.shape[0] or not self.mask[row]:
+            raise KeyError(key)
+        self.mask[row] = False
+
+    def __contains__(self, key: str) -> bool:
+        row = self._index.ids.get(key)
+        return row is not None and row < self.values.shape[0] and bool(self.mask[row])
+
+    def __iter__(self) -> Iterator[str]:
+        names = self._index.names
+        for row in range(min(len(names), self.values.shape[0])):
+            if self.mask[row]:
+                yield names[row]
+
+    def __len__(self) -> int:
+        return int(self.mask.sum())
+
+    def items(self):
+        for key in self:
+            yield key, self.values.item(self._index.ids[key])
+
+
+class _NetPredMap:
+    """``{net name: Optional[net name]}`` façade over a per-net int array.
+
+    Row value ``-1`` encodes an explicit ``None`` entry (startpoints);
+    presence is tracked separately in ``mask`` like :class:`_NetValueMap`.
+    """
+
+    __slots__ = ("_index", "rows", "mask")
+
+    def __init__(
+        self,
+        index: _NetIndex,
+        rows: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
+    ):
+        self._index = index
+        n = len(index)
+        self.rows = np.full(n, -1, dtype=np.int64) if rows is None else rows
+        self.mask = np.zeros(n, dtype=bool) if mask is None else mask
+
+    def _grow(self) -> None:
+        n = len(self._index)
+        old = self.rows.shape[0]
+        size = max(n, 2 * old, 8)
+        rows = np.full(size, -1, dtype=np.int64)
+        rows[:old] = self.rows
+        mask = np.zeros(size, dtype=bool)
+        mask[:old] = self.mask[:old]
+        self.rows = rows
+        self.mask = mask
+
+    def _decode(self, row: int) -> Optional[str]:
+        value = self.rows.item(row)
+        return None if value < 0 else self._index.names[value]
+
+    def __getitem__(self, key: str) -> Optional[str]:
+        row = self._index.ids.get(key)
+        if row is None or row >= self.rows.shape[0] or not self.mask[row]:
+            raise KeyError(key)
+        return self._decode(row)
+
+    def get(self, key: str, default=None):
+        row = self._index.ids.get(key)
+        if row is None or row >= self.rows.shape[0] or not self.mask[row]:
+            return default
+        return self._decode(row)
+
+    def __setitem__(self, key: str, value: Optional[str]) -> None:
+        row = self._index.add(key)
+        if row >= self.rows.shape[0]:
+            self._grow()
+        self.rows[row] = -1 if value is None else self._index.add(value)
+        self.mask[row] = True
+
+    def __delitem__(self, key: str) -> None:
+        row = self._index.ids.get(key)
+        if row is None or row >= self.rows.shape[0] or not self.mask[row]:
+            raise KeyError(key)
+        self.mask[row] = False
+
+    def __contains__(self, key: str) -> bool:
+        row = self._index.ids.get(key)
+        return row is not None and row < self.rows.shape[0] and bool(self.mask[row])
+
+    def __iter__(self) -> Iterator[str]:
+        names = self._index.names
+        for row in range(min(len(names), self.rows.shape[0])):
+            if self.mask[row]:
+                yield names[row]
+
+    def items(self) -> Iterator[Tuple[str, Optional[str]]]:
+        names = self._index.names
+        for row in range(min(len(names), self.rows.shape[0])):
+            if self.mask[row]:
+                yield names[row], self._decode(row)
+
+    def __len__(self) -> int:
+        return int(self.mask.sum())
+
+
+@dataclass
+class _LevelSegment:
+    """One level's slice of the level-sorted combinational node arrays."""
+
+    lo: int  # node range [lo, hi) into the comb_* arrays
+    hi: int
+    elo: int  # edge range [elo, ehi) into fanin_src
+    ehi: int
+    rel_starts: np.ndarray  # reduceat starts, relative to elo (non-empty nodes)
+    ne_offsets: np.ndarray  # node offsets (relative to lo) with >= 1 fanin edge
+    ne_counts: np.ndarray  # fanin edge counts of those nodes
+
+
+@dataclass
+class _TopoSoA:
+    """Struct-of-arrays view of one topology for the vectorized kernel.
+
+    Everything here is *structural* — derived from connectivity and
+    levels only — so it is rebuilt with the topology and shared by
+    every corner/policy over the design.  Electrical values (cell
+    attributes, net lengths, skews, congestion) are gathered per
+    propagation because cell swaps don't bump ``structure_version``.
+    """
+
+    n_nets: int
+    clock_row: int  # row of the clock net, or -1
+    # load accumulation: one entry per (non-clock net, sink pin), in
+    # net order then sink order — the accumulation order of the scalar
+    # per-net Python sum
+    sink_net_rows: np.ndarray
+    sink_inst_rows: np.ndarray
+    po_rows: np.ndarray  # rows of primary-output nets
+    net_driver_rows: np.ndarray  # driver instance position per net, -1 for PIs
+    # sequential startpoints, in netlist instance order
+    seq_inst_rows: np.ndarray
+    seq_out_rows: np.ndarray
+    seq_names: List[str]
+    # combinational nodes, stably sorted by level; fanin CSR excludes
+    # clock-net inputs but preserves each node's input-pin order
+    comb_inst_rows: np.ndarray
+    comb_out_rows: np.ndarray
+    fanin_ptr: np.ndarray
+    fanin_src: np.ndarray
+    # global non-empty fanin segments (for arrival-independent merges)
+    ne_node_offsets: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+    ne_starts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+    ne_counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+    levels: List[_LevelSegment] = field(default_factory=list)
+
+    @property
+    def n_comb(self) -> int:
+        return self.comb_out_rows.shape[0]
+
+    @property
+    def n_comb_edges(self) -> int:
+        return self.fanin_src.shape[0]
+
+
 class TimingTopology:
     """The structural view shared by every corner/policy over one design:
-    topological order, levels, and net lengths.  Building it is the
+    topological order, levels, net lengths, and the struct-of-arrays
+    index view the vectorized kernel consumes.  Building it is the
     part of STA that does *not* depend on the delay model, so MMMC
     analysis constructs it once and runs per-view policies over it."""
 
@@ -91,6 +365,8 @@ class TimingTopology:
         self.level: Dict[str, int] = {}
         self.net_len: Dict[str, float] = {}
         self.structure_version: int = -1
+        self.net_index = _NetIndex()
+        self._soa: Optional[_TopoSoA] = None
         self.rebuild()
 
     @property
@@ -116,16 +392,128 @@ class TimingTopology:
                     best = max(best, level[driver])
             level[name] = best + 1
         self.level = level
+        self.net_index.sync(netlist.nets)
+        self._soa = None  # rebuilt lazily on the next vectorized query
         self.structure_version = netlist.structure_version
+
+    @property
+    def soa(self) -> _TopoSoA:
+        """The struct-of-arrays view for the current structure (lazy)."""
+        if self._soa is None:
+            self._soa = self._build_soa()
+        return self._soa
+
+    def _build_soa(self) -> _TopoSoA:
+        netlist = self.netlist
+        ids = self.net_index.ids
+        clock = netlist.clock_net
+        n_nets = len(self.net_index)
+        inst_pos = {name: i for i, name in enumerate(netlist.instances)}
+
+        sink_net_rows: List[int] = []
+        sink_inst_rows: List[int] = []
+        net_driver_rows = np.full(n_nets, -1, dtype=np.intp)
+        for net_name, net in netlist.nets.items():
+            row = ids[net_name]
+            if net.driver is not None:
+                net_driver_rows[row] = inst_pos[net.driver]
+            if net_name == clock:
+                continue
+            for sink_name, _pin in net.sinks:
+                sink_net_rows.append(row)
+                sink_inst_rows.append(inst_pos[sink_name])
+        po_rows = np.array(
+            [ids[n] for n in netlist.primary_outputs if n != clock], dtype=np.intp
+        )
+
+        seq_inst_rows: List[int] = []
+        seq_out_rows: List[int] = []
+        seq_names: List[str] = []
+        for i, inst in enumerate(netlist.instances.values()):
+            if inst.cell.is_sequential:
+                seq_inst_rows.append(i)
+                seq_out_rows.append(ids[inst.output_net])
+                seq_names.append(inst.name)
+
+        # combinational nodes, stably sorted by level so each level is
+        # one contiguous slice; within a level the topological order is
+        # preserved (irrelevant for values — every input of a level-L
+        # node is produced below level L — but deterministic)
+        order = self.order
+        lv = np.array([self.level[name] for name in order], dtype=np.intp)
+        perm = np.argsort(lv, kind="stable")
+        comb_inst_rows = np.empty(len(order), dtype=np.intp)
+        comb_out_rows = np.empty(len(order), dtype=np.intp)
+        fanin_src: List[int] = []
+        ptr = np.zeros(len(order) + 1, dtype=np.intp)
+        for k, j in enumerate(perm):
+            inst = netlist.instances[order[j]]
+            comb_inst_rows[k] = inst_pos[inst.name]
+            comb_out_rows[k] = ids[inst.output_net]
+            for net_name in inst.input_nets:
+                if net_name == clock:
+                    continue
+                fanin_src.append(ids[net_name])
+            ptr[k + 1] = len(fanin_src)
+        fanin_src_arr = np.array(fanin_src, dtype=np.intp)
+
+        all_counts = ptr[1:] - ptr[:-1]
+        all_nonempty = all_counts > 0
+
+        levels: List[_LevelSegment] = []
+        lv_sorted = lv[perm]
+        bounds = [0] + list(np.nonzero(np.diff(lv_sorted))[0] + 1) + [len(order)]
+        if len(order) == 0:
+            bounds = [0, 0]
+        for b in range(len(bounds) - 1):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            if lo == hi:
+                continue
+            counts = ptr[lo + 1 : hi + 1] - ptr[lo:hi]
+            nonempty = counts > 0
+            levels.append(
+                _LevelSegment(
+                    lo=lo,
+                    hi=hi,
+                    elo=int(ptr[lo]),
+                    ehi=int(ptr[hi]),
+                    rel_starts=(ptr[lo:hi][nonempty] - ptr[lo]).astype(np.intp),
+                    ne_offsets=np.nonzero(nonempty)[0],
+                    ne_counts=counts[nonempty],
+                )
+            )
+
+        return _TopoSoA(
+            n_nets=n_nets,
+            clock_row=ids.get(clock, -1) if clock is not None else -1,
+            sink_net_rows=np.array(sink_net_rows, dtype=np.intp),
+            sink_inst_rows=np.array(sink_inst_rows, dtype=np.intp),
+            po_rows=po_rows,
+            net_driver_rows=net_driver_rows,
+            seq_inst_rows=np.array(seq_inst_rows, dtype=np.intp),
+            seq_out_rows=np.array(seq_out_rows, dtype=np.intp),
+            seq_names=seq_names,
+            comb_inst_rows=comb_inst_rows,
+            comb_out_rows=comb_out_rows,
+            fanin_ptr=ptr,
+            fanin_src=fanin_src_arr,
+            ne_node_offsets=np.nonzero(all_nonempty)[0],
+            ne_starts=ptr[:-1][all_nonempty].astype(np.intp),
+            ne_counts=all_counts[all_nonempty],
+            levels=levels,
+        )
 
 
 class TimingGraph:
     """Levelized arrival/slew state for one (netlist, placement, policy).
 
     ``full_propagate()`` computes every node exactly as the historical
-    engines did; ``update(changed)`` recomputes only the dirty cone;
+    engines did — vectorized over struct-of-arrays state by default,
+    or with the per-node scalar loop when ``vectorize=False``;
+    ``update(changed)`` recomputes only the dirty cone;
     ``report(clock_period)`` materializes endpoint slacks and charges
     the policy's runtime proxy for the operations since the last query.
+    Both propagation modes produce bitwise-identical state.
     """
 
     def __init__(
@@ -137,6 +525,7 @@ class TimingGraph:
         congestion: Optional[np.ndarray] = None,
         check_hold: bool = False,
         topology: Optional[TimingTopology] = None,
+        vectorize: bool = True,
     ):
         self.netlist = netlist
         self.placement = placement
@@ -144,6 +533,7 @@ class TimingGraph:
         self.skews = skews or {}
         self.congestion = congestion
         self.check_hold = check_hold
+        self.vectorize = vectorize
         if (
             topology is None
             or topology.netlist is not netlist
@@ -152,7 +542,8 @@ class TimingGraph:
             topology = TimingTopology(netlist, placement)
         self.topology = topology
         self.stats = StaStats()
-        # per-net propagation state
+        # per-net propagation state: plain dicts in scalar mode, array
+        # façades after a vectorized propagation — same mapping surface
         self._net_load: Dict[str, float] = {}
         self._arrival: Dict[str, float] = {}
         self._slew: Dict[str, float] = {}
@@ -162,12 +553,18 @@ class TimingGraph:
         self._propagated = False
         self._ops_pending = 0  # propagation ops since the last report()
         self._full_ops = 0  # ops one from-scratch propagation costs today
+        # cell-attribute registry for the vectorized gather; entries
+        # hold the Cell object so a row can never alias a recycled id()
+        self._cell_rows: Dict[int, Tuple[int, object]] = {}
+        self._cell_data: List[Tuple[float, ...]] = []
+        self._cell_matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # per-node recomputation: these are the *only* places arrival/slew
-    # values are produced, shared verbatim between full and incremental
-    # propagation — that sharing is what makes bit-identity structural
-    # rather than coincidental.
+    # values are produced by the scalar paths (incremental update and
+    # vectorize=False propagation); the vectorized kernel mirrors each
+    # expression with identical association order, which is what makes
+    # bit-identity structural rather than coincidental.
     def _congestion_at(self, net_name: str) -> float:
         if self.congestion is None:
             return 0.0
@@ -178,8 +575,8 @@ class TimingGraph:
         if net is None or net.driver is None:
             return 0.0
         x, y = placement.positions[net.driver]
-        i = min(nx - 1, max(0, int(x / fp.width * nx)))
-        j = min(ny - 1, max(0, int(y / fp.height * ny)))
+        i = bin_index(x, fp.width, nx)
+        j = bin_index(y, fp.height, ny)
         return float(self.congestion[j, i])
 
     def _net_load_of(self, net_name: str) -> float:
@@ -288,12 +685,27 @@ class TimingGraph:
     def full_propagate(self) -> int:
         """Propagate every node from scratch; returns propagation ops.
 
-        Visits nets, startpoints and combinational instances in exactly
-        the historical ``analyze`` order.  Also (re)builds the topology
-        if the netlist's ``structure_version`` moved since it was built.
+        Computes nets, startpoints and combinational instances with
+        exactly the historical ``analyze`` float expressions (the
+        vectorized and scalar paths are bitwise interchangeable).  Also
+        (re)builds the topology if the netlist's ``structure_version``
+        moved since it was built.
         """
         if self.topology.stale:
             self.topology.rebuild()
+        if self.vectorize:
+            ops = self._propagate_vectorized()
+        else:
+            ops = self._propagate_scalar()
+        self._known = set(self.netlist.instances)
+        self._propagated = True
+        self._full_ops = ops
+        self._ops_pending = ops
+        self.stats.full_propagates += 1
+        return ops
+
+    def _propagate_scalar(self) -> int:
+        """The historical per-node propagation loop (reference path)."""
         netlist = self.netlist
         topo = self.topology
         ops = 0
@@ -328,11 +740,201 @@ class TimingGraph:
             for name in topo.order:
                 ops += self._compute_comb_min(netlist.instances[name])
 
-        self._known = set(netlist.instances)
-        self._propagated = True
-        self._full_ops = ops
-        self._ops_pending = ops
-        self.stats.full_propagates += 1
+        return ops
+
+    # ------------------------------------------------------------------
+    # vectorized full propagation
+    def _cell_columns(self) -> Tuple[np.ndarray, ...]:
+        """Per-instance cell attribute columns, gathered fresh each
+        propagation (cell swaps don't bump ``structure_version``, so
+        attributes can never be cached structurally)."""
+        netlist = self.netlist
+        rows_by_id = self._cell_rows
+        data = self._cell_data
+        rows = np.empty(len(netlist.instances), dtype=np.intp)
+        dirty = False
+        for i, inst in enumerate(netlist.instances.values()):
+            cell = inst.cell
+            entry = rows_by_id.get(id(cell))
+            # the identity check guards deepcopied graphs (stage cache):
+            # a copied registry keeps the original objects' ids as keys,
+            # and a new cell may be allocated at one of those addresses
+            if entry is not None and entry[1] is not cell:
+                entry = None
+            if entry is None:
+                row = len(data)
+                data.append(
+                    (
+                        cell.input_cap,
+                        cell.intrinsic_delay,
+                        cell.drive_resistance,
+                        cell.slew_sensitivity,
+                        cell.slew_intrinsic,
+                        cell.slew_resistance,
+                    )
+                )
+                rows_by_id[id(cell)] = (row, cell)
+                dirty = True
+            else:
+                row = entry[0]
+            rows[i] = row
+        if dirty or self._cell_matrix is None:
+            self._cell_matrix = np.array(data, dtype=float)
+        m = self._cell_matrix[rows]
+        return m[:, 0], m[:, 1], m[:, 2], m[:, 3], m[:, 4], m[:, 5]
+
+    def _net_congestion(self, soa: _TopoSoA) -> Optional[np.ndarray]:
+        """Per-net congestion under each net's driver, or None if no map."""
+        if self.congestion is None:
+            return None
+        ny, nx = self.congestion.shape
+        placement = self.placement
+        fp = placement.floorplan
+        positions = placement.positions
+        n_inst = len(self.netlist.instances)
+        xs = np.empty(n_inst)
+        ys = np.empty(n_inst)
+        for i, name in enumerate(self.netlist.instances):
+            xs[i], ys[i] = positions[name]
+        gi = bin_indices(xs, fp.width, nx)
+        gj = bin_indices(ys, fp.height, ny)
+        inst_cong = np.asarray(self.congestion, dtype=float)[gj, gi]
+        cong = np.zeros(soa.n_nets)
+        driven = soa.net_driver_rows >= 0
+        cong[driven] = inst_cong[soa.net_driver_rows[driven]]
+        return cong
+
+    def _propagate_vectorized(self) -> int:
+        netlist = self.netlist
+        topo = self.topology
+        policy = self.policy
+        lib = netlist.library
+        soa = topo.soa
+        index = topo.net_index
+        n_nets = soa.n_nets
+        df = policy.corner.delay_factor
+        wf = policy.corner.wire_factor
+
+        cap, intr, dres, ssens, sintr, sres = self._cell_columns()
+        net_len_map = topo.net_len
+        net_len = np.fromiter(
+            (net_len_map.get(name, 0.0) for name in index.names),
+            dtype=float,
+            count=n_nets,
+        )
+        launch = np.fromiter(
+            (self.skews.get(name, 0.0) for name in soa.seq_names),
+            dtype=float,
+            count=len(soa.seq_names),
+        )
+
+        # net loads: sequential bincount accumulation == the scalar
+        # left-to-right Python sum over each net's sinks, then PO pin
+        # load, then the wire term — same order, same expressions
+        loads = np.bincount(
+            soa.sink_net_rows,
+            weights=cap[soa.sink_inst_rows],
+            minlength=n_nets,
+        )
+        loads[soa.po_rows] += PO_LOAD
+        loads = loads + lib.wire_c_per_um * net_len * wf
+
+        # slews are arrival-independent: PI_SLEW at startpoint inputs,
+        # cell.output_slew(load) at every instance output
+        slew = np.full(n_nets, PI_SLEW)
+        seq_loads = loads[soa.seq_out_rows]
+        slew[soa.seq_out_rows] = sintr[soa.seq_inst_rows] + sres[soa.seq_inst_rows] * seq_loads
+        ci = soa.comb_inst_rows
+        comb_loads = loads[soa.comb_out_rows]
+        slew[soa.comb_out_rows] = sintr[ci] + sres[ci] * comb_loads
+
+        # launch arrivals at sequential outputs
+        arrival = np.zeros(n_nets)
+        pred = np.full(n_nets, -1, dtype=np.int64)
+        q_delay = DFF_CLK_TO_Q * df * policy.stage_derate()
+        arrival[soa.seq_out_rows] = (
+            launch + q_delay + dres[soa.seq_inst_rows] * seq_loads * df
+        )
+
+        # per-edge wire + SI delay (arrival-independent): the load seen
+        # by the wire is the receiving pin's input cap
+        e_src = soa.fanin_src
+        fanin_counts = soa.fanin_ptr[1:] - soa.fanin_ptr[:-1]
+        e_cap = np.repeat(cap[ci], fanin_counts)
+        e_len = net_len[e_src]
+        e_wire_pure = policy.wire_delay_batch(e_len, e_cap, lib)
+        cong = self._net_congestion(soa)
+        e_cong = np.zeros(e_src.shape[0]) if cong is None else cong[e_src]
+        e_wire = e_wire_pure + policy.si_bump_batch(e_len, e_cong)
+
+        # merged input slews and gate delays per comb node (global):
+        # nodes with no non-clock fanin fall back to PI_SLEW
+        merged = np.full(soa.n_comb, PI_SLEW)
+        if soa.ne_starts.size:
+            merged[soa.ne_node_offsets] = policy.merge_slew_batch(
+                slew[e_src], soa.ne_starts, soa.ne_counts
+            )
+        gate = (intr[ci] + dres[ci] * comb_loads + ssens[ci] * merged) * df * policy.stage_derate()
+
+        # level-by-level late-arrival propagation
+        for seg in soa.levels:
+            n_lv = seg.hi - seg.lo
+            best = np.full(n_lv, -np.inf)
+            pred_lv = np.full(n_lv, -1, dtype=np.int64)
+            if seg.rel_starts.size:
+                src_lv = e_src[seg.elo : seg.ehi]
+                cand = arrival[src_lv] + e_wire[seg.elo : seg.ehi]
+                seg_max = np.maximum.reduceat(cand, seg.rel_starts)
+                best[seg.ne_offsets] = seg_max
+                # first input achieving the max == the scalar strict-">"
+                # left-to-right winner
+                rep = np.repeat(seg_max, seg.ne_counts)
+                positions = np.arange(cand.shape[0])
+                masked = np.where(cand == rep, positions, cand.shape[0])
+                first = np.minimum.reduceat(masked, seg.rel_starts)
+                winners = np.where(seg_max > -np.inf, src_lv[first], -1)
+                pred_lv[seg.ne_offsets] = winners
+            out_lv = soa.comb_out_rows[seg.lo : seg.hi]
+            arrival[out_lv] = best + gate[seg.lo : seg.hi]
+            pred[out_lv] = pred_lv
+
+        ops = len(soa.seq_names) + soa.n_comb_edges
+
+        arrival_min: Optional[np.ndarray] = None
+        if self.check_hold:
+            early = policy.early_derate()
+            arrival_min = np.zeros(n_nets)
+            arrival_min[soa.seq_out_rows] = (
+                launch + (DFF_CLK_TO_Q + dres[soa.seq_inst_rows] * seq_loads) * df * early
+            )
+            e_hold = e_wire_pure * early
+            gate_min = (intr[ci] + dres[ci] * comb_loads + ssens[ci] * PI_SLEW) * df * early
+            for seg in soa.levels:
+                n_lv = seg.hi - seg.lo
+                fastest = np.full(n_lv, np.inf)
+                if seg.rel_starts.size:
+                    src_lv = e_src[seg.elo : seg.ehi]
+                    cand = arrival_min[src_lv] + e_hold[seg.elo : seg.ehi]
+                    fastest[seg.ne_offsets] = np.minimum.reduceat(cand, seg.rel_starts)
+                fastest = np.where(np.isinf(fastest), 0.0, fastest)
+                out_lv = soa.comb_out_rows[seg.lo : seg.hi]
+                arrival_min[out_lv] = fastest + gate_min[seg.lo : seg.hi]
+            ops += soa.n_comb
+
+        # publish array state behind the dict façades; presence matches
+        # the scalar dicts exactly (every non-clock net — each net is a
+        # primary input or an instance output)
+        mask = np.ones(n_nets, dtype=bool)
+        if soa.clock_row >= 0:
+            mask[soa.clock_row] = False
+        self._net_load = _NetValueMap(index, values=loads, mask=mask.copy())
+        self._arrival = _NetValueMap(index, values=arrival, mask=mask.copy())
+        self._slew = _NetValueMap(index, fill=PI_SLEW, values=slew, mask=mask.copy())
+        self._pred = _NetPredMap(index, rows=pred, mask=mask.copy())
+        if arrival_min is not None:
+            self._arrival_min = _NetValueMap(index, values=arrival_min, mask=mask.copy())
+        else:
+            self._arrival_min = _NetValueMap(index)
         return ops
 
     # ------------------------------------------------------------------

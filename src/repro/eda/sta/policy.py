@@ -14,6 +14,14 @@ The two concrete policies reproduce the historical ``GraphSTA`` /
 ``_runtime_proxy``) expression-for-expression, so reports stay
 bit-identical to the pre-refactor engines (enforced against
 ``tests/eda/sta_reference.py``).
+
+Each scalar hook has a ``*_batch`` companion consumed by the
+vectorized kernel.  Batch methods are written with the *same
+association order* as their scalar counterparts (numpy elementwise
+ops round identically to the scalar float ops), and segment merges
+use ``np.add.reduceat``/``np.maximum.reduceat``, whose strictly
+sequential accumulation matches the scalar left-to-right loops —
+that is what keeps vectorized results bitwise equal to scalar ones.
 """
 
 from __future__ import annotations
@@ -41,6 +49,31 @@ class DelayPolicy:
 
     def si_bump(self, length: float, congestion: float) -> float:
         return 0.0
+
+    def wire_delay_batch(
+        self, lengths: np.ndarray, loads: np.ndarray, lib
+    ) -> np.ndarray:
+        """Vectorized :meth:`wire_delay` (same expressions, same order)."""
+        r = lib.wire_r_per_um * lengths * self.corner.wire_factor
+        c_wire = lib.wire_c_per_um * lengths * self.corner.wire_factor
+        return r * (c_wire / 2.0 + loads)
+
+    def si_bump_batch(
+        self, lengths: np.ndarray, congestions: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`si_bump`."""
+        return np.zeros_like(lengths)
+
+    def merge_slew_batch(
+        self, slews: np.ndarray, starts: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment :meth:`merge_slew` over a CSR of input slews.
+
+        ``starts`` are the first-edge offsets of *non-empty* segments
+        (the caller substitutes the PI-slew fallback for empty ones);
+        ``counts`` are the matching segment lengths.
+        """
+        return np.maximum.reduceat(slews, starts)
 
     def stage_derate(self) -> float:
         return 1.0
@@ -102,6 +135,11 @@ class SignoffDelayPolicy(DelayPolicy):
         # coupling delta grows with wire length and local routing demand
         return self.si_factor * length * 0.12 * max(0.0, congestion)
 
+    def si_bump_batch(
+        self, lengths: np.ndarray, congestions: np.ndarray
+    ) -> np.ndarray:
+        return self.si_factor * lengths * 0.12 * np.maximum(0.0, congestions)
+
     def stage_derate(self) -> float:
         return self.ocv_derate
 
@@ -109,6 +147,15 @@ class SignoffDelayPolicy(DelayPolicy):
         # effective slew: closer to RMS than worst-case (less pessimistic)
         arr = np.asarray(slews)
         return float(np.sqrt(np.mean(arr**2)))
+
+    def merge_slew_batch(
+        self, slews: np.ndarray, starts: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        # RMS per segment.  np.add.reduceat sums strictly sequentially,
+        # and np.mean's pairwise summation degenerates to the same
+        # sequential sum below 8 elements (cells have <= 3 inputs), so
+        # this is bitwise equal to the scalar merge_slew per node.
+        return np.sqrt(np.add.reduceat(slews**2, starts) / counts)
 
     def early_derate(self) -> float:
         return 0.92  # early OCV: fast paths may be faster than nominal

@@ -17,6 +17,7 @@ corrupt lines left by a killed writer instead of refusing the file.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -34,6 +35,7 @@ class MetricsServer:
         self._persist_fh = None
         self.persist_path = Path(persist_path) if persist_path else None
         self.skipped_lines = 0  # corrupt/torn lines ignored at load
+        self.null_values = 0  # non-finite values persisted as null
         if self.persist_path and self.persist_path.exists():
             self._load()
 
@@ -140,7 +142,14 @@ class MetricsServer:
         # O_APPEND descriptor, so concurrent writers never tear a line
         if self._persist_fh is None:
             self._persist_fh = open(self.persist_path, "ab", buffering=0)
-        line = json.dumps(self._encode(record)) + "\n"
+        payload = self._encode(record)
+        # strict JSON has no Infinity/NaN literal — a plain dumps would
+        # emit python-only tokens that any conforming reader rejects.
+        # Persist non-finite measurements as null ("no value") and keep
+        # allow_nan=False so no such token can ever slip into the file.
+        if not math.isfinite(payload["value"]):
+            payload["value"] = None
+        line = json.dumps(payload, allow_nan=False) + "\n"
         self._persist_fh.write(line.encode())
 
     def _load(self) -> None:
@@ -151,6 +160,11 @@ class MetricsServer:
                     continue
                 try:
                     data = json.loads(line)
+                    if data["value"] is None:
+                        # a non-finite measurement persisted as null:
+                        # "no value", so there is no record to rebuild
+                        self.null_values += 1
+                        continue
                     record = MetricRecord(
                         design=data["design"],
                         run_id=data["run_id"],

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from typing import Optional, Union
 
 from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
@@ -88,11 +89,17 @@ def report_flow_metrics(tx: Transmitter, result: FlowResult) -> None:
 
     Shared by :class:`InstrumentedFlow` (in-process reporting) and the
     executor's worker-side instrumentation (queue-backed reporting).
+
+    Non-finite values are dropped rather than transmitted: timing
+    reports use ``inf`` as a "nothing to report" sentinel (``wns`` with
+    no endpoints, ``hold_wns`` when hold wasn't checked), and a sentinel
+    is the *absence* of a measurement — serializing it would poison
+    mined tables and produce invalid strict JSON downstream.
     """
     for log in result.logs:
         for key, value in log.metrics.items():
             vocab_name = _STEP_METRICS.get((log.step, key))
-            if vocab_name is not None:
+            if vocab_name is not None and math.isfinite(value):
                 tx.send(vocab_name, value)
     # sizing work is split across several counters in the log
     opt_logs = [log for log in result.logs if log.step == "opt"]
@@ -104,9 +111,13 @@ def report_flow_metrics(tx: Transmitter, result: FlowResult) -> None:
             for log in opt_logs
         )
         tx.send("opt.sizing_ops", ops)
-    tx.send("flow.area", result.area)
-    tx.send("flow.achieved_ghz", result.achieved_ghz)
-    tx.send("flow.runtime", result.runtime_proxy)
+    for name, value in (
+        ("flow.area", result.area),
+        ("flow.achieved_ghz", result.achieved_ghz),
+        ("flow.runtime", result.runtime_proxy),
+    ):
+        if math.isfinite(value):
+            tx.send(name, value)
     tx.send("flow.success", float(result.success))
     tx.send("flow.target_ghz", result.options.target_clock_ghz)
     for attr, vocab_name in _OPTION_METRICS.items():

@@ -396,3 +396,49 @@ def test_executor_persists_stage_stats(small_spec, tmp_path):
 def test_executor_stage_cache_validation():
     with pytest.raises(ValueError):
         FlowExecutor(n_workers=1, stage_cache=True, stage_cache_entries=0)
+
+
+def test_cache_stats_survive_concurrent_executors(tmp_path):
+    """Two executors closing at once must not lose each other's counters.
+
+    The persist path is read-merge-write on a shared json file; before
+    it took an exclusive flock, overlapping closes could both read the
+    same prior file and the later writer silently dropped the earlier
+    one's counts.  Hammer the window from several threads: every single
+    increment must survive into the final file.
+    """
+    import json
+    import threading
+
+    n_threads, rounds = 4, 20
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def persist_loop():
+        try:
+            barrier.wait()
+            for _ in range(rounds):
+                executor = FlowExecutor(
+                    n_workers=1, cache=True, cache_dir=str(tmp_path)
+                )
+                executor.stats.jobs_submitted = 1
+                executor.stats.jobs_run = 1
+                executor.stats.stage_hits_by_stage["opt"] = 1
+                executor.close()
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=persist_loop) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    with open(tmp_path / "cache-stats.json") as fh:
+        stats = json.load(fh)
+    expected = n_threads * rounds
+    assert stats["jobs_submitted"] == expected
+    assert stats["jobs_run"] == expected
+    assert stats["stage_hits_by_stage"]["opt"] == expected
+    # never leaks partially-written temp files
+    assert not list(tmp_path.glob("*.tmp"))

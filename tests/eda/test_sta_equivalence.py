@@ -108,6 +108,85 @@ def test_fresh_equivalence_without_skew_or_congestion(small_netlist, small_place
     assert_reports_identical(got, want)
 
 
+# ------------------------------------------ vectorized vs scalar kernel
+def assert_graph_states_identical(vec, scalar):
+    """Every propagated state map agrees key-for-key, bit-for-bit."""
+    for attr in ("_arrival", "_arrival_min", "_slew", "_pred"):
+        got = dict(getattr(vec, attr).items())
+        want = dict(getattr(scalar, attr).items())
+        assert got == want, attr
+
+
+@pytest.mark.parametrize("corner", sorted(CORNERS))
+@pytest.mark.parametrize("check_hold", [False, True])
+def test_vectorized_graph_kernel_matches_scalar_and_reference(
+    small_netlist, small_placement, small_congestion, skews, corner, check_hold
+):
+    new_corner, ref_corner = CORNERS[corner]
+    engine = GraphSTA(new_corner)
+    graphs = {}
+    for vectorize in (True, False):
+        g = engine.build_graph(
+            small_netlist, small_placement, skews=skews,
+            congestion=small_congestion, check_hold=check_hold,
+            vectorize=vectorize,
+        )
+        g.full_propagate()
+        graphs[vectorize] = g
+    assert_graph_states_identical(graphs[True], graphs[False])
+    want = ref.GraphSTA(ref_corner).analyze(
+        small_netlist, small_placement, 1100.0, skews, small_congestion,
+        check_hold=check_hold,
+    )
+    assert_reports_identical(graphs[True].report(1100.0), want)
+    assert_reports_identical(graphs[False].report(1100.0), want)
+
+
+@pytest.mark.parametrize("corner", sorted(CORNERS))
+@pytest.mark.parametrize("pba", [False, True])
+@pytest.mark.parametrize("check_hold", [False, True])
+def test_vectorized_signoff_kernel_matches_scalar_and_reference(
+    small_netlist, small_placement, small_congestion, skews, corner, pba, check_hold
+):
+    new_corner, ref_corner = CORNERS[corner]
+    engine = SignoffSTA(new_corner, pba=pba)
+    graphs = {}
+    for vectorize in (True, False):
+        g = engine.build_graph(
+            small_netlist, small_placement, skews=skews,
+            congestion=small_congestion, check_hold=check_hold,
+            vectorize=vectorize,
+        )
+        g.full_propagate()
+        graphs[vectorize] = g
+    assert_graph_states_identical(graphs[True], graphs[False])
+    want = ref.SignoffSTA(ref_corner, pba=pba).analyze(
+        small_netlist, small_placement, 1100.0, skews, small_congestion,
+        check_hold=check_hold,
+    )
+    assert_reports_identical(graphs[True].report(1100.0), want)
+    assert_reports_identical(graphs[False].report(1100.0), want)
+
+
+def test_vectorized_kernel_charges_identical_proxy(
+    small_netlist, small_placement, small_congestion, skews
+):
+    """The SoA kernel counts the same ops as the scalar loop — the
+    runtime-proxy cost model must not notice the implementation."""
+    engine = SignoffSTA(SLOW)
+    stats = {}
+    for vectorize in (True, False):
+        g = engine.build_graph(
+            small_netlist, small_placement, skews=skews,
+            congestion=small_congestion, check_hold=True, vectorize=vectorize,
+        )
+        g.full_propagate()
+        g.report(1100.0)
+        stats[vectorize] = g.stats
+    assert stats[True].proxy_executed == stats[False].proxy_executed
+    assert stats[True].proxy_full_equivalent == stats[False].proxy_full_equivalent
+
+
 # ----------------------------------------------------------- optimizer loop
 @pytest.mark.parametrize("period,guardband,seed", [
     (600.0, 0.0, 0),     # deeply failing: _fix_timing passes

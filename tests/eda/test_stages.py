@@ -236,6 +236,54 @@ def test_stage_cache_hit_miss_counters(small_spec):
     assert len(cache) == 0
 
 
+def test_stage_cache_round_trips_ndarray_backed_timing_state(small_spec):
+    """Cached prefixes now carry numpy struct-of-arrays timing state.
+
+    The opt stage leaves a live vectorized ``TimingGraph`` (array-backed
+    arrival/slew maps, an id-keyed cell-attribute registry, a lazy SoA
+    topology) in the snapshot; deep-copying it on put/get must produce a
+    kernel that keeps answering incremental queries bit-identically —
+    including after cell swaps, which stress the copied registry.
+    """
+    from repro.eda.sta import GraphSTA
+
+    cache = StageCache()
+    base = FlowOptions()
+    execute_pipeline(small_spec, base, 3, cache=cache)
+    opt_key = stage_prefix_keys(small_spec, base, 3)[-2]  # prefix through opt
+    cached_state = cache.get(opt_key, "opt")
+    assert cached_state is not None
+    graph = cached_state.timing_graph
+    assert graph is not None
+    # the copied kernel aliases the copied netlist, not the original
+    assert graph.netlist is cached_state.netlist
+    nl, pl = cached_state.netlist, cached_state.placement
+    want = GraphSTA().analyze(nl, pl, 1100.0, graph.skews,
+                              check_hold=graph.check_hold)
+    got = graph.report(1100.0)
+    assert list(got.endpoints) == list(want.endpoints)
+    for name in got.endpoints:
+        assert got.endpoints[name].slack == want.endpoints[name].slack
+        assert got.endpoints[name].arrival == want.endpoints[name].arrival
+    # a cell swap through the copied graph: the id-keyed attribute
+    # registry must not confuse copied cells with the originals
+    comb = next(n for n, i in nl.instances.items()
+                if not i.cell.is_sequential)
+    from repro.eda.library import DRIVE_STRENGTHS
+
+    cell = nl.instances[comb].cell
+    idx = DRIVE_STRENGTHS.index(cell.drive)
+    new_drive = DRIVE_STRENGTHS[idx + 1 if idx + 1 < len(DRIVE_STRENGTHS)
+                                else idx - 1]
+    nl.replace_cell(comb, nl.library.resize(cell, new_drive))
+    graph.update([comb])
+    scratch = GraphSTA().analyze(nl, pl, 1100.0, graph.skews,
+                                 check_hold=graph.check_hold)
+    updated = graph.report(1100.0)
+    for name in updated.endpoints:
+        assert updated.endpoints[name].slack == scratch.endpoints[name].slack
+
+
 def test_external_synth_log_disables_caching(small_spec, small_netlist):
     """Partition flows pass a pre-built synth log; those results must
     never be served from (or into) the stage cache."""

@@ -164,6 +164,60 @@ def test_server_load_skips_torn_lines(tmp_path):
     assert reloaded.skipped_lines == 1
 
 
+def test_server_persists_nonfinite_as_strict_json_null(tmp_path):
+    """inf/nan never reach the JSONL file as python-only tokens.
+
+    ``json.dumps`` would happily emit ``Infinity`` — which no strict
+    JSON reader accepts — so non-finite measurements persist as null
+    and are ignored (counted) on reload.
+    """
+    import json
+    import math
+
+    path = tmp_path / "metrics.jsonl"
+    server = MetricsServer(persist_path=str(path))
+    with Transmitter(server, "d", "r1", "tool") as tx:
+        tx.send("flow.area", 42.0)
+        tx.send("signoff.wns", float("inf"))
+        tx.send("signoff.tns", float("-inf"))
+        tx.send("signoff.power", float("nan"))
+    server.close()
+    with open(path) as fh:
+        lines = [line for line in fh if line.strip()]
+    assert len(lines) == 4
+    for line in lines:
+        data = json.loads(line, parse_constant=lambda tok: pytest.fail(
+            f"non-strict JSON token {tok!r} persisted"))
+        assert data["value"] is None or math.isfinite(data["value"])
+    reloaded = MetricsServer(persist_path=str(path))
+    assert len(reloaded) == 1  # only the finite record survives
+    assert reloaded.null_values == 3
+    assert reloaded.run_vector("r1") == {"flow.area": 42.0}
+
+
+def test_report_flow_metrics_drops_nonfinite(small_spec):
+    """Sentinel timing values (inf hold_wns etc.) are never transmitted."""
+    from repro.eda.flow import SPRFlow
+    from repro.metrics.wrappers import make_run_id, report_flow_metrics
+
+    result = SPRFlow().run(small_spec, FlowOptions(), seed=1)
+    # poison the signoff log with the sentinels TimingReport uses for
+    # "nothing to report" and make sure they stay out of the stream
+    signoff = [log for log in result.logs if log.step == "signoff"][0]
+    signoff.metrics["wns"] = float("inf")
+    signoff.metrics["tns"] = float("nan")
+    server = MetricsServer()
+    with Transmitter(server, result.design,
+                     make_run_id(small_spec, FlowOptions(), 1),
+                     tool="spr_flow") as tx:
+        report_flow_metrics(tx, result)
+    vec = server.run_vector(server.runs()[0])
+    assert "signoff.wns" not in vec
+    assert "signoff.tns" not in vec
+    assert "signoff.power" in vec  # finite neighbors still reported
+    assert all(np.isfinite(v) for v in vec.values())
+
+
 def test_server_last_report_wins():
     server = MetricsServer()
     with Transmitter(server, "d", "r1", "tool") as tx:
