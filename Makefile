@@ -54,19 +54,26 @@ sta-smoke:
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/incremental_sta_benchmark.py --smoke
 
-# STA benchmark trajectory: run both STA benchmarks (vectorized-kernel
+# Benchmark trajectory: run the STA benchmarks (vectorized-kernel
 # speedup on the largest corpus design, incremental-update work saved
-# on PULPino), merge their summaries into BENCH_sta.json, and fail on
-# regression against the committed baseline.  Thresholds are ratios
-# measured within one run, so they carry across machines.
+# on PULPino) and the place & route kernel benchmark (annealer and
+# global-router fast paths), merge their summaries into BENCH_sta.json
+# / BENCH_place_route.json, and fail on regression against the
+# committed baselines.  Thresholds are ratios measured within one run,
+# so they carry across machines.
 bench-trajectory:
-	rm -f BENCH_sta.json
+	rm -f BENCH_sta.json BENCH_place_route.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/vectorized_sta_benchmark.py --smoke --json BENCH_sta.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/incremental_sta_benchmark.py --smoke --json BENCH_sta.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_sta.json \
 		benchmarks/BENCH_sta_baseline.json
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/vectorized_place_route_benchmark.py --smoke \
+		--json BENCH_place_route.json
+	$(PYTHON) benchmarks/check_bench_regression.py BENCH_place_route.json \
+		benchmarks/BENCH_place_route_baseline.json
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

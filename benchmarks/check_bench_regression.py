@@ -1,8 +1,12 @@
-"""Gate ``BENCH_sta.json`` against the committed baseline.
+"""Gate a benchmark JSON against its committed baseline.
 
-``make bench-trajectory`` runs both STA benchmarks, which merge their
-summaries into ``BENCH_sta.json``; this script compares that file to
-``benchmarks/BENCH_sta_baseline.json`` and exits 1 on regression.
+``make bench-trajectory`` runs the STA and place/route benchmarks,
+which merge their summaries into ``BENCH_sta.json`` /
+``BENCH_place_route.json``; this script compares such a file to its
+committed baseline (``benchmarks/BENCH_*_baseline.json``) and exits 1
+on regression.  The baseline decides which sections are required: any
+section present in the baseline must be present — and healthy — in the
+current file, so the one script gates both benchmark families.
 
 What counts as a regression is chosen to be machine-independent:
 
@@ -11,15 +15,18 @@ What counts as a regression is chosen to be machine-independent:
 - the incremental ``work_ratio`` is a runtime-*proxy* ratio, also
   deterministic: it must stay within ``--proxy-tolerance`` (default
   25%) of the baseline and above the 2x floor;
-- the vectorized ``speedup`` is a wall-clock ratio measured on the
-  same machine in the same run, so it cancels absolute machine speed
-  but still jitters under CI load: it only has to clear the 5x floor
-  and ``--speedup-fraction`` (default 35%) of the baseline.
+- wall-clock ``speedup`` ratios are measured on the same machine in
+  the same run, which cancels absolute machine speed but still jitters
+  under CI load: each only has to clear its section's absolute floor
+  (5x for the vectorized-STA and annealer kernels, 3x for global
+  routing) and ``--speedup-fraction`` (default 35%) of the baseline.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_sta.json \
         benchmarks/BENCH_sta_baseline.json
+    python benchmarks/check_bench_regression.py BENCH_place_route.json \
+        benchmarks/BENCH_place_route_baseline.json
 """
 
 from __future__ import annotations
@@ -28,17 +35,22 @@ import argparse
 import json
 import sys
 
+# wall-clock sections: name -> absolute speedup floor
+WALL_FLOORS = {
+    "vectorized": 5.0,
+    "annealer": 5.0,
+    "groute": 3.0,
+}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("current", help="freshly generated BENCH_sta.json")
+    parser.add_argument("current", help="freshly generated benchmark json")
     parser.add_argument("baseline", help="committed baseline json")
     parser.add_argument("--proxy-tolerance", type=float, default=0.25,
                         help="allowed fractional drop in work_ratio")
     parser.add_argument("--speedup-fraction", type=float, default=0.35,
                         help="required fraction of the baseline speedup")
-    parser.add_argument("--speedup-floor", type=float, default=5.0,
-                        help="absolute minimum vectorized speedup")
     args = parser.parse_args(argv)
 
     with open(args.current) as fh:
@@ -48,37 +60,46 @@ def main(argv=None) -> int:
 
     failures = []
 
-    vec_now = current.get("vectorized")
-    vec_base = baseline.get("vectorized")
-    if vec_now is None or vec_base is None:
-        failures.append("missing 'vectorized' section")
-    else:
-        if not vec_now.get("bit_identical"):
-            failures.append("vectorized kernel is no longer bit-identical")
-        floor = max(args.speedup_floor,
-                    args.speedup_fraction * vec_base["speedup"])
-        if vec_now["speedup"] < floor:
+    for section, abs_floor in WALL_FLOORS.items():
+        base = baseline.get(section)
+        if base is None:
+            continue  # this baseline does not track the section
+        now = current.get(section)
+        if now is None:
+            failures.append(f"missing '{section}' section")
+            continue
+        if not now.get("bit_identical"):
+            failures.append(f"{section} kernel is no longer bit-identical")
+        floor = max(abs_floor, args.speedup_fraction * base["speedup"])
+        if now["speedup"] < floor:
             failures.append(
-                f"vectorized speedup regressed: {vec_now['speedup']:.1f}x "
-                f"< {floor:.1f}x (baseline {vec_base['speedup']:.1f}x)")
-        print(f"vectorized: {vec_now['speedup']:.1f}x "
-              f"(baseline {vec_base['speedup']:.1f}x, floor {floor:.1f}x)")
+                f"{section} speedup regressed: {now['speedup']:.1f}x "
+                f"< {floor:.1f}x (baseline {base['speedup']:.1f}x)")
+        print(f"{section}: {now['speedup']:.1f}x "
+              f"(baseline {base['speedup']:.1f}x, floor {floor:.1f}x)")
 
-    inc_now = current.get("incremental")
     inc_base = baseline.get("incremental")
-    if inc_now is None or inc_base is None:
-        failures.append("missing 'incremental' section")
-    else:
-        if not inc_now.get("qor_identical"):
-            failures.append("incremental STA changed the optimizer QoR")
-        floor = max(2.0, (1.0 - args.proxy_tolerance) * inc_base["work_ratio"])
-        if inc_now["work_ratio"] < floor:
-            failures.append(
-                f"incremental work_ratio regressed: "
-                f"{inc_now['work_ratio']:.2f}x < {floor:.2f}x "
-                f"(baseline {inc_base['work_ratio']:.2f}x)")
-        print(f"incremental: {inc_now['work_ratio']:.2f}x less timing work "
-              f"(baseline {inc_base['work_ratio']:.2f}x, floor {floor:.2f}x)")
+    if inc_base is not None:
+        inc_now = current.get("incremental")
+        if inc_now is None:
+            failures.append("missing 'incremental' section")
+        else:
+            if not inc_now.get("qor_identical"):
+                failures.append("incremental STA changed the optimizer QoR")
+            floor = max(2.0,
+                        (1.0 - args.proxy_tolerance) * inc_base["work_ratio"])
+            if inc_now["work_ratio"] < floor:
+                failures.append(
+                    f"incremental work_ratio regressed: "
+                    f"{inc_now['work_ratio']:.2f}x < {floor:.2f}x "
+                    f"(baseline {inc_base['work_ratio']:.2f}x)")
+            print(f"incremental: {inc_now['work_ratio']:.2f}x less timing "
+                  f"work (baseline {inc_base['work_ratio']:.2f}x, "
+                  f"floor {floor:.2f}x)")
+
+    if not failures and not any(
+            key in baseline for key in (*WALL_FLOORS, "incremental")):
+        failures.append("baseline has no recognized benchmark sections")
 
     for failure in failures:
         print(f"FAIL: {failure}")

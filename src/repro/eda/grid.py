@@ -45,3 +45,21 @@ def bin_indices(coords: np.ndarray, extent: float, n_bins: int) -> np.ndarray:
     coords = np.asarray(coords, dtype=float)
     raw = np.floor(coords / extent * n_bins).astype(np.int64)
     return np.clip(raw, 0, n_bins - 1)
+
+
+def gcell_indices(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    width: float,
+    height: float,
+    nx: int,
+    ny: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Gcell ``(i, j)`` columns/rows for point arrays on an ``ny x nx`` grid.
+
+    The batched form of calling :func:`bin_index` on both coordinates —
+    the global router's binning, shared with the congestion and density
+    consumers so a point on a gcell boundary lands in the same gcell no
+    matter which kernel asks.
+    """
+    return bin_indices(xs, width, nx), bin_indices(ys, height, ny)

@@ -11,10 +11,22 @@ Two stages, mirroring a production flow:
 The annealer's move acceptance depends on its seed; this is one of the
 two real sources of the run-to-run "implementation noise" the paper's
 Fig 3 characterizes (the other is synthesis restructuring).
+
+Both stages ship two interchangeable kernels.  ``vectorize=True`` (the
+default) runs the struct-of-arrays fast path: the legalizer builds its
+site grid with batched macro masking, and the annealer keeps int-indexed
+position arrays, a per-instance net-incidence table, and incrementally
+maintained per-net bounding boxes so a move costs O(touched nets)
+amortized instead of a rescan of every pin of every touched net.
+``vectorize=False`` runs the historical per-object scalar loops.  The
+two are bitwise-identical — same RNG draw order, same float operations
+in the same order — and the scalar path is frozen as
+``tests/eda/placement_reference.py`` with an equivalence suite.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -103,10 +115,11 @@ class Placement:
 class QuadraticPlacer:
     """Analytic global placement: quadratic wirelength + spreading."""
 
-    def __init__(self, spread_strength: float = 0.8):
+    def __init__(self, spread_strength: float = 0.8, vectorize: bool = True):
         if not 0.0 <= spread_strength <= 1.0:
             raise ValueError("spread_strength must be in [0, 1]")
         self.spread_strength = spread_strength
+        self.vectorize = vectorize
 
     def place(
         self, netlist: Netlist, floorplan: Floorplan, seed: Optional[int] = None
@@ -158,7 +171,7 @@ class QuadraticPlacer:
         xs, ys = self._spread(xs, ys, floorplan)
         positions = {name: (float(xs[i]), float(ys[i])) for name, i in index.items()}
         placement = Placement(netlist, floorplan, positions)
-        _legalize(placement, rng)
+        _legalize(placement, rng, vectorize=self.vectorize)
         return placement
 
     def _spread(self, xs: np.ndarray, ys: np.ndarray, fp: Floorplan):
@@ -174,7 +187,39 @@ class QuadraticPlacer:
         return np.clip(xs, 0, fp.width), np.clip(ys, 0, fp.height)
 
 
-def _legalize(placement: Placement, rng: np.random.Generator) -> None:
+def _free_sites_scalar(fp: Floorplan, n_rows: int, sites_per_row: int,
+                       pitch: float) -> np.ndarray:
+    """Row-major legal site coordinates, per-site macro checks."""
+    free_sites = []
+    for r in range(n_rows):
+        y = (r + 0.5) * ROW_HEIGHT
+        for c in range(sites_per_row):
+            x = (c + 0.5) * pitch
+            if not fp.in_macro(x, y):
+                free_sites.append((x, y))
+    return np.array(free_sites).reshape(-1, 2)
+
+
+def _free_sites_vectorized(fp: Floorplan, n_rows: int, sites_per_row: int,
+                           pitch: float) -> np.ndarray:
+    """Row-major legal site coordinates, batched macro masking.
+
+    Bit-identical to :func:`_free_sites_scalar`: same per-site
+    ``(c + 0.5) * pitch`` coordinate arithmetic, same half-open macro
+    containment test, same row-major ordering.
+    """
+    xs = np.tile((np.arange(sites_per_row) + 0.5) * pitch, n_rows)
+    ys = np.repeat((np.arange(n_rows) + 0.5) * ROW_HEIGHT, sites_per_row)
+    blocked = np.zeros(xs.shape[0], dtype=bool)
+    for m in fp.macros:
+        blocked |= ((m.x <= xs) & (xs < m.x + m.width)
+                    & (m.y <= ys) & (ys < m.y + m.height))
+    keep = ~blocked
+    return np.column_stack((xs[keep], ys[keep]))
+
+
+def _legalize(placement: Placement, rng: np.random.Generator,
+              vectorize: bool = True) -> None:
     """Snap cells to row/site grid, one cell per site, avoiding macros."""
     fp = placement.floorplan
     names = list(placement.positions)
@@ -183,20 +228,16 @@ def _legalize(placement: Placement, rng: np.random.Generator) -> None:
     sites_per_row = max(1, int(np.ceil(n / n_rows * 1.25)))
     pitch = fp.width / sites_per_row
 
-    free_sites = []
-    for r in range(n_rows):
-        y = (r + 0.5) * ROW_HEIGHT
-        for c in range(sites_per_row):
-            x = (c + 0.5) * pitch
-            if not fp.in_macro(x, y):
-                free_sites.append((x, y))
-    if len(free_sites) < n:
+    if vectorize:
+        site_arr = _free_sites_vectorized(fp, n_rows, sites_per_row, pitch)
+    else:
+        site_arr = _free_sites_scalar(fp, n_rows, sites_per_row, pitch)
+    if site_arr.shape[0] < n:
         raise ValueError("floorplan has fewer legal sites than cells")
 
     # greedy nearest-site assignment in random order (seed-dependent)
     order = list(rng.permutation(n))
-    site_arr = np.array(free_sites)
-    taken = np.zeros(len(free_sites), dtype=bool)
+    taken = np.zeros(site_arr.shape[0], dtype=bool)
     for idx in order:
         name = names[idx]
         x, y = placement.positions[name]
@@ -207,20 +248,80 @@ def _legalize(placement: Placement, rng: np.random.Generator) -> None:
         placement.positions[name] = (float(site_arr[best, 0]), float(site_arr[best, 1]))
 
 
+@dataclass(frozen=True)
+class AnnealSchedule:
+    """Temperatures the annealer actually evaluated moves at.
+
+    ``first_temperature`` is exactly ``t_start`` (the historical kernel
+    decayed before the first acceptance test, so no move ever saw it);
+    ``last_temperature`` approaches ``t_end`` from above (the decay now
+    fires only after an evaluated move, so ``a == b`` skips no longer
+    drag the tail below ``t_end``).
+    """
+
+    first_temperature: float
+    last_temperature: float
+    n_evaluated: int
+
+
+def _build_net_model(
+    placement: Placement, net_weights: Optional[Dict[str, float]]
+) -> Tuple[List[List[int]], List[Optional[Tuple[float, float]]], List[float], List[List[int]]]:
+    """Int-indexed net model: members, fixed pad, weight, and the
+    per-instance incidence lists (which nets each instance pins)."""
+    netlist = placement.netlist
+    names = list(netlist.instances)
+    index = {nm: i for i, nm in enumerate(names)}
+    n = len(names)
+    nets_members: List[List[int]] = []
+    nets_fixed: List[Optional[Tuple[float, float]]] = []
+    nets_weight: List[float] = []
+    inst_nets: List[List[int]] = [[] for _ in range(n)]
+    for net_name, net in netlist.nets.items():
+        if net_name == netlist.clock_net:
+            continue
+        members = []
+        if net.driver is not None:
+            members.append(index[net.driver])
+        members += [index[s] for s, _ in net.sinks]
+        members = list(dict.fromkeys(members))
+        pad = placement.floorplan.pad_positions.get(net_name)
+        if len(members) + (1 if pad is not None else 0) < 2:
+            continue
+        net_id = len(nets_members)
+        nets_members.append(members)
+        nets_fixed.append(pad)
+        weight = 1.0 if net_weights is None else float(net_weights.get(net_name, 1.0))
+        if weight <= 0:
+            raise ValueError(f"net weight for {net_name} must be positive")
+        nets_weight.append(weight)
+        for m in members:
+            inst_nets[m].append(net_id)
+    return nets_members, nets_fixed, nets_weight, inst_nets
+
+
 class AnnealingRefiner:
-    """Simulated-annealing detailed placement (cell swaps on sites)."""
+    """Simulated-annealing detailed placement (cell swaps on sites).
+
+    After :meth:`refine` runs, :attr:`last_schedule` holds the
+    temperatures actually evaluated (an :class:`AnnealSchedule`, or
+    ``None`` when no move was evaluated).
+    """
 
     def __init__(
         self,
         moves_per_cell: int = 30,
         t_start: float = 4.0,
         t_end: float = 0.05,
+        vectorize: bool = True,
     ):
         if moves_per_cell < 1:
             raise ValueError("moves_per_cell must be >= 1")
         self.moves_per_cell = moves_per_cell
         self.t_start = t_start
         self.t_end = t_end
+        self.vectorize = vectorize
+        self.last_schedule: Optional[AnnealSchedule] = None
 
     def refine(
         self,
@@ -237,39 +338,36 @@ class AnnealingRefiner:
         rng = np.random.default_rng(seed)
         netlist = placement.netlist
         names = list(netlist.instances)
-        index = {n: i for i, n in enumerate(names)}
         n = len(names)
+        self.last_schedule = None
         if n < 2:
             return placement.hpwl()
 
-        # plain Python structures: per-move work touches a handful of
-        # 2-4 pin nets, where list iteration beats numpy dispatch
         pos_x = [placement.positions[nm][0] for nm in names]
         pos_y = [placement.positions[nm][1] for nm in names]
-        nets_members: List[List[int]] = []
-        nets_fixed: List[Optional[Tuple[float, float]]] = []
-        nets_weight: List[float] = []
-        inst_nets: List[List[int]] = [[] for _ in range(n)]
-        for net_name, net in netlist.nets.items():
-            if net_name == netlist.clock_net:
-                continue
-            members = []
-            if net.driver is not None:
-                members.append(index[net.driver])
-            members += [index[s] for s, _ in net.sinks]
-            members = list(dict.fromkeys(members))
-            pad = placement.floorplan.pad_positions.get(net_name)
-            if len(members) + (1 if pad else 0) < 2:
-                continue
-            net_id = len(nets_members)
-            nets_members.append(members)
-            nets_fixed.append(pad)
-            weight = 1.0 if net_weights is None else float(net_weights.get(net_name, 1.0))
-            if weight <= 0:
-                raise ValueError(f"net weight for {net_name} must be positive")
-            nets_weight.append(weight)
-            for m in members:
-                inst_nets[m].append(net_id)
+        nets_members, nets_fixed, nets_weight, inst_nets = _build_net_model(
+            placement, net_weights
+        )
+
+        n_moves = self.moves_per_cell * n
+        cool = (self.t_end / self.t_start) ** (1.0 / max(1, n_moves - 1))
+        pairs = rng.integers(0, n, size=(n_moves, 2))
+        uniforms = rng.random(n_moves)
+        if self.vectorize:
+            self._anneal_fast(pos_x, pos_y, nets_members, nets_fixed,
+                              nets_weight, inst_nets, pairs, uniforms, cool)
+        else:
+            self._anneal_scalar(pos_x, pos_y, nets_members, nets_fixed,
+                                nets_weight, inst_nets, pairs, uniforms, cool)
+
+        for i, nm in enumerate(names):
+            placement.positions[nm] = (pos_x[i], pos_y[i])
+        return placement.hpwl()
+
+    # ------------------------------------------------------------- scalar
+    def _anneal_scalar(self, pos_x, pos_y, nets_members, nets_fixed,
+                       nets_weight, inst_nets, pairs, uniforms, cool) -> None:
+        """Per-move full rescan of every touched net (frozen reference)."""
 
         def net_hpwl(net_id: int) -> float:
             members = nets_members[net_id]
@@ -294,19 +392,16 @@ class AnnealingRefiner:
                     y_hi = y
             return ((x_hi - x_lo) + (y_hi - y_lo)) * nets_weight[net_id]
 
-        n_moves = self.moves_per_cell * n
-        cool = (self.t_end / self.t_start) ** (1.0 / max(1, n_moves - 1))
         t = self.t_start
-        pairs = rng.integers(0, n, size=(n_moves, 2))
-        uniforms = rng.random(n_moves)
-        exp = np.exp
-        for move in range(n_moves):
+        first_t = last_t = None
+        n_eval = 0
+        exp = math.exp
+        for move in range(pairs.shape[0]):
             a, b = int(pairs[move, 0]), int(pairs[move, 1])
-            t *= cool
             if a == b:
                 continue
-            touched = set(inst_nets[a])
-            touched.update(inst_nets[b])
+            seen = set(inst_nets[a])
+            touched = inst_nets[a] + [nid for nid in inst_nets[b] if nid not in seen]
             before = 0.0
             for net_id in touched:
                 before += net_hpwl(net_id)
@@ -319,7 +414,216 @@ class AnnealingRefiner:
             if delta > 0 and uniforms[move] >= exp(-delta / t):
                 pos_x[a], pos_x[b] = pos_x[b], pos_x[a]  # reject
                 pos_y[a], pos_y[b] = pos_y[b], pos_y[a]
+            if first_t is None:
+                first_t = t
+            last_t = t
+            n_eval += 1
+            t *= cool
+        if n_eval:
+            self.last_schedule = AnnealSchedule(first_t, last_t, n_eval)
 
-        for i, nm in enumerate(names):
-            placement.positions[nm] = (pos_x[i], pos_y[i])
-        return placement.hpwl()
+    # --------------------------------------------------------------- fast
+    def _anneal_fast(self, pos_x, pos_y, nets_members, nets_fixed,
+                     nets_weight, inst_nets, pairs, uniforms, cool) -> None:
+        """Incremental kernel: per-net extreme statistics.
+
+        For every net the kernel caches its cost plus, per side of the
+        bounding box, the extreme coordinate and the extreme the box
+        falls back to when the *unique* holder of that extreme moves
+        away (the second-distinct extreme, or the extreme itself when
+        it is shared).  Pricing a swap is then O(1) per touched net —
+        compare the moving pin's coordinate against the cached extreme
+        to get the bbox of the *other* pins (pad included as a
+        pseudo-pin), fold in the incoming coordinate — independent of
+        fanout, where the scalar kernel rescans every pin, O(fanout).
+
+        Caches change only on *accepted* moves (a few percent), where a
+        single O(k) pass recomputes each touched net; nets containing
+        both swapped cells are skipped even there, because a swap
+        leaves the net's coordinate multiset unchanged.  Rejected moves
+        leave all state untouched, so there is no rollback bookkeeping.
+        min/max are value-based and order-independent, and the delta
+        accumulates over touched nets in the same order as the scalar
+        kernel, so every acceptance decision is bitwise-identical.
+        """
+        n_nets = len(nets_members)
+        member_sets = [frozenset(m) for m in nets_members]
+        inst_net_sets = [frozenset(l) for l in inst_nets]
+        cost = [0.0] * n_nets
+        # flat per-net stats: [xl, xl', xh, xh', yl, yl', yh, yh'] where
+        # v' is the side's extreme over the remaining pins if the unique
+        # holder of v leaves (== v when the extreme is shared)
+        stats = [None] * n_nets
+        inf = math.inf
+
+        def rebuild(nid: int) -> None:
+            """Recompute cost and extreme stats of one net, O(k)."""
+            pad = nets_fixed[nid]
+            xl = yl = xl2 = yl2 = inf
+            xh = yh = xh2 = yh2 = -inf
+            cxl = cxh = cyl = cyh = 0
+            for m in nets_members[nid]:
+                x = pos_x[m]
+                if x < xl:
+                    xl2 = xl
+                    xl = x
+                    cxl = 1
+                elif x == xl:
+                    cxl += 1
+                elif x < xl2:
+                    xl2 = x
+                if x > xh:
+                    xh2 = xh
+                    xh = x
+                    cxh = 1
+                elif x == xh:
+                    cxh += 1
+                elif x > xh2:
+                    xh2 = x
+                y = pos_y[m]
+                if y < yl:
+                    yl2 = yl
+                    yl = y
+                    cyl = 1
+                elif y == yl:
+                    cyl += 1
+                elif y < yl2:
+                    yl2 = y
+                if y > yh:
+                    yh2 = yh
+                    yh = y
+                    cyh = 1
+                elif y == yh:
+                    cyh += 1
+                elif y > yh2:
+                    yh2 = y
+            if pad is not None:
+                x, y = pad
+                if x < xl:
+                    xl2 = xl
+                    xl = x
+                    cxl = 1
+                elif x == xl:
+                    cxl += 1
+                elif x < xl2:
+                    xl2 = x
+                if x > xh:
+                    xh2 = xh
+                    xh = x
+                    cxh = 1
+                elif x == xh:
+                    cxh += 1
+                elif x > xh2:
+                    xh2 = x
+                if y < yl:
+                    yl2 = yl
+                    yl = y
+                    cyl = 1
+                elif y == yl:
+                    cyl += 1
+                elif y < yl2:
+                    yl2 = y
+                if y > yh:
+                    yh2 = yh
+                    yh = y
+                    cyh = 1
+                elif y == yh:
+                    cyh += 1
+                elif y > yh2:
+                    yh2 = y
+            cost[nid] = ((xh - xl) + (yh - yl)) * nets_weight[nid]
+            stats[nid] = [xl, xl2 if cxl == 1 else xl,
+                          xh, xh2 if cxh == 1 else xh,
+                          yl, yl2 if cyl == 1 else yl,
+                          yh, yh2 if cyh == 1 else yh]
+
+        for nid in range(n_nets):
+            rebuild(nid)
+
+        pair_list = pairs.tolist()
+        u_list = uniforms.tolist()
+        t = self.t_start
+        first_t = None
+        n_eval = 0
+        exp = math.exp
+        for move in range(len(pair_list)):
+            a, b = pair_list[move]
+            if a == b:
+                continue
+            sa = inst_net_sets[a]
+            nets_a = inst_nets[a]
+            ax = pos_x[a]
+            ay = pos_y[a]
+            bx = pos_x[b]
+            by = pos_y[b]
+            # before/after accumulate over the touched nets in scalar
+            # order: a's nets first, then b's nets not shared with a
+            before = 0.0
+            after = 0.0
+            for nid in nets_a:
+                before += cost[nid]
+                if b in member_sets[nid]:
+                    after += cost[nid]  # swap within the net: no change
+                    continue
+                st = stats[nid]
+                v = st[0]
+                xl = st[1] if ax == v else v
+                v = st[2]
+                xh = st[3] if ax == v else v
+                v = st[4]
+                yl = st[5] if ay == v else v
+                v = st[6]
+                yh = st[7] if ay == v else v
+                if bx < xl:
+                    xl = bx
+                elif bx > xh:
+                    xh = bx
+                if by < yl:
+                    yl = by
+                elif by > yh:
+                    yh = by
+                after += ((xh - xl) + (yh - yl)) * nets_weight[nid]
+            for nid in inst_nets[b]:
+                if nid in sa:
+                    continue
+                before += cost[nid]
+                st = stats[nid]
+                v = st[0]
+                xl = st[1] if bx == v else v
+                v = st[2]
+                xh = st[3] if bx == v else v
+                v = st[4]
+                yl = st[5] if by == v else v
+                v = st[6]
+                yh = st[7] if by == v else v
+                if ax < xl:
+                    xl = ax
+                elif ax > xh:
+                    xh = ax
+                if ay < yl:
+                    yl = ay
+                elif ay > yh:
+                    yh = ay
+                after += ((xh - xl) + (yh - yl)) * nets_weight[nid]
+            delta = after - before
+            if not (delta > 0 and u_list[move] >= exp(-delta / t)):
+                # accept: apply the swap and rebuild the touched caches
+                # (nets holding both cells keep their multiset — skip)
+                pos_x[a] = bx
+                pos_y[a] = by
+                pos_x[b] = ax
+                pos_y[b] = ay
+                sb = inst_net_sets[b]
+                for nid in nets_a:
+                    if nid not in sb:
+                        rebuild(nid)
+                for nid in inst_nets[b]:
+                    if nid not in sa:
+                        rebuild(nid)
+            if first_t is None:
+                first_t = t
+            last_t = t
+            n_eval += 1
+            t *= cool
+        if n_eval:
+            self.last_schedule = AnnealSchedule(first_t, last_t, n_eval)

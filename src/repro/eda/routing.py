@@ -17,6 +17,19 @@ neighborhoods spills new violations into adjacent gcells.  When total
 demand genuinely exceeds supply the run plateaus (doomed); when supply
 is ample DRVs decay geometrically (successful) — the trajectory classes
 of Fig 9 emerge from the grid state rather than from curve templates.
+
+Both routers ship two interchangeable kernels.  ``vectorize=True`` (the
+default) runs the struct-of-arrays fast path: segments come from one
+global lexsort + batched gcell binning, L-shape costs are evaluated
+with prefix-sum (``np.add.accumulate``) overflow sums over demand-row
+slices — skipped entirely via per-row/column hot-edge counts when a
+row has no overflowed edge — and commits are slice adds; the detailed
+router's rip-up scatter draws one batched multinomial.
+``vectorize=False`` runs the historical per-edge Python loops.  The two
+are bitwise-identical — same RNG draw order (tie-breaks and scatter
+draws), same float operations in the same order — and the scalar path
+is frozen as ``tests/eda/routing_reference.py`` with an equivalence
+suite over demand grids, congestion maps, and DRV trajectories.
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.eda.grid import bin_index, gcell_indices
 from repro.eda.placement import Placement
 
 #: A run "succeeds" if it ends with fewer DRVs than this (paper Sec 3.3).
@@ -88,6 +102,7 @@ class GlobalRouter:
         tracks_per_um: float = 16.0,
         negotiation_rounds: int = 3,
         overflow_penalty: float = 2.0,
+        vectorize: bool = True,
     ):
         """``tracks_per_um`` is the routing supply density: edge capacity
         is the gcell boundary length times this (summing the usable
@@ -102,21 +117,49 @@ class GlobalRouter:
         self.tracks_per_um = tracks_per_um
         self.negotiation_rounds = negotiation_rounds
         self.overflow_penalty = overflow_penalty
+        self.vectorize = vectorize
 
     def route(self, placement: Placement, seed: Optional[int] = None) -> GlobalRouteResult:
         rng = np.random.default_rng(seed)
         fp = placement.floorplan
-        netlist = placement.netlist
         nx, ny = self.nx, self.ny
         cap_h = self.tracks_per_um * fp.height / ny  # tracks crossing a vertical boundary
         cap_v = self.tracks_per_um * fp.width / nx
 
-        def gcell(x: float, y: float) -> Tuple[int, int]:
-            i = min(nx - 1, max(0, int(x / fp.width * nx)))
-            j = min(ny - 1, max(0, int(y / fp.height * ny)))
-            return i, j
+        if self.vectorize:
+            segments = self._segments_fast(placement)
+            demand_h, demand_v = self._negotiate_fast(segments, cap_h, cap_v, rng)
+        else:
+            segments = self._segments_scalar(placement)
+            demand_h, demand_v = self._negotiate_scalar(segments, cap_h, cap_v, rng)
 
-        # Build two-pin segments per net: chain pins in x order.
+        gx = fp.width / nx
+        gy = fp.height / ny
+        wirelength = float(demand_h.sum() * gx + demand_v.sum() * gy)
+        return GlobalRouteResult(
+            nx=nx,
+            ny=ny,
+            demand_h=demand_h,
+            demand_v=demand_v,
+            capacity_h=cap_h,
+            capacity_v=cap_v,
+            wirelength=wirelength,
+        )
+
+    # ------------------------------------------------------ segment build
+    def _segments_scalar(self, placement: Placement) -> List[Tuple[int, int, int, int]]:
+        """Two-pin segments per net: chain pins in (x, y) order.
+
+        Gcell binning goes through the shared :func:`bin_index` (floor +
+        clamp) — historically this was a private truncate-and-clamp
+        ``gcell()`` closure, which agrees with ``bin_index`` for every
+        real input only because the clamp hides the floor/truncate
+        difference below zero; routing through the shared helper keeps
+        the agreement by construction.
+        """
+        fp = placement.floorplan
+        netlist = placement.netlist
+        nx, ny = self.nx, self.ny
         segments: List[Tuple[int, int, int, int]] = []
         for net_name, net in netlist.nets.items():
             if net_name == netlist.clock_net:
@@ -132,41 +175,94 @@ class GlobalRouter:
                 continue
             pts.sort()
             for a, b in zip(pts[:-1], pts[1:]):
-                ia, ja = gcell(*a)
-                ib, jb = gcell(*b)
+                ia = bin_index(a[0], fp.width, nx)
+                ja = bin_index(a[1], fp.height, ny)
+                ib = bin_index(b[0], fp.width, nx)
+                jb = bin_index(b[1], fp.height, ny)
                 if (ia, ja) != (ib, jb):
                     segments.append((ia, ja, ib, jb))
+        return segments
 
+    def _segments_fast(self, placement: Placement) -> List[Tuple[int, int, int, int]]:
+        """Batched segment build: one global lexsort + array binning.
+
+        Points are keyed (net ordinal, x, y) so one lexsort reproduces
+        every per-net ``pts.sort()``; binning is the vectorized
+        :func:`gcell_indices` over all pins at once.  Produces the same
+        segments in the same order as :meth:`_segments_scalar`.
+        """
+        fp = placement.floorplan
+        netlist = placement.netlist
+        positions = placement.positions
+        xs: List[float] = []
+        ys: List[float] = []
+        nids: List[int] = []
+        k = 0
+        for net_name, net in netlist.nets.items():
+            if net_name == netlist.clock_net:
+                continue
+            start = len(xs)
+            if net.driver is not None:
+                x, y = positions[net.driver]
+                xs.append(x)
+                ys.append(y)
+            for s, _ in net.sinks:
+                x, y = positions[s]
+                xs.append(x)
+                ys.append(y)
+            pad = fp.pad_positions.get(net_name)
+            if pad is not None:
+                xs.append(pad[0])
+                ys.append(pad[1])
+            n_pts = len(xs) - start
+            if n_pts < 2:
+                del xs[start:], ys[start:]
+                continue
+            nids.extend([k] * n_pts)
+            k += 1
+        if not xs:
+            return []
+        xa = np.asarray(xs)
+        ya = np.asarray(ys)
+        na = np.asarray(nids)
+        order = np.lexsort((ya, xa, na))
+        xa, ya, na = xa[order], ya[order], na[order]
+        gi, gj = gcell_indices(xa, ya, fp.width, fp.height, self.nx, self.ny)
+        same_net = na[1:] == na[:-1]
+        ia, ib = gi[:-1][same_net], gi[1:][same_net]
+        ja, jb = gj[:-1][same_net], gj[1:][same_net]
+        keep = (ia != ib) | (ja != jb)
+        cols = np.stack((ia[keep], ja[keep], ib[keep], jb[keep]), axis=1)
+        return [tuple(row) for row in cols.tolist()]
+
+    # ------------------------------------------------------- scalar kernel
+    def _negotiate_scalar(self, segments, cap_h: float, cap_v: float,
+                          rng: np.random.Generator):
+        """Per-edge Python loops (the frozen reference kernel)."""
+        nx, ny = self.nx, self.ny
+        penalty = self.overflow_penalty
         demand_h = np.zeros((ny, max(1, nx - 1)))
         demand_v = np.zeros((max(1, ny - 1), nx))
-        routes: List[Tuple[bool, Tuple[int, int, int, int]]] = []
 
-        def edge_cost_h(j: int, i: int) -> float:
-            over = max(0.0, demand_h[j, i] + 1 - cap_h)
-            return 1.0 + self.overflow_penalty * over
+        def run_cost_h(j: int, lo: int, hi: int) -> float:
+            over = 0.0
+            for i in range(lo, hi):
+                over += max(0.0, demand_h[j, i] + 1.0 - cap_h)
+            return (hi - lo) + penalty * over
 
-        def edge_cost_v(j: int, i: int) -> float:
-            over = max(0.0, demand_v[j, i] + 1 - cap_v)
-            return 1.0 + self.overflow_penalty * over
+        def run_cost_v(i: int, lo: int, hi: int) -> float:
+            over = 0.0
+            for j in range(lo, hi):
+                over += max(0.0, demand_v[j, i] + 1.0 - cap_v)
+            return (hi - lo) + penalty * over
 
         def l_cost(seg, horizontal_first: bool) -> float:
             ia, ja, ib, jb = seg
-            cost = 0.0
+            ilo, ihi = min(ia, ib), max(ia, ib)
+            jlo, jhi = min(ja, jb), max(ja, jb)
             if horizontal_first:
-                j = ja
-                for i in range(min(ia, ib), max(ia, ib)):
-                    cost += edge_cost_h(j, i)
-                i = ib
-                for j2 in range(min(ja, jb), max(ja, jb)):
-                    cost += edge_cost_v(j2, i)
-            else:
-                i = ia
-                for j2 in range(min(ja, jb), max(ja, jb)):
-                    cost += edge_cost_v(j2, i)
-                j = jb
-                for i2 in range(min(ia, ib), max(ia, ib)):
-                    cost += edge_cost_h(j, i2)
-            return cost
+                return run_cost_h(ja, ilo, ihi) + run_cost_v(ib, jlo, jhi)
+            return run_cost_v(ia, jlo, jhi) + run_cost_h(jb, ilo, ihi)
 
         def commit(seg, horizontal_first: bool, sign: float) -> None:
             ia, ja, ib, jb = seg
@@ -181,6 +277,7 @@ class GlobalRouter:
                 for i2 in range(min(ia, ib), max(ia, ib)):
                     demand_h[jb, i2] += sign
 
+        routes: List[Tuple[bool, Tuple[int, int, int, int]]] = []
         # initial routing pass (random tie-break between the two L shapes)
         for seg in segments:
             c_hf = l_cost(seg, True)
@@ -206,19 +303,106 @@ class GlobalRouter:
                 commit(seg, new_hf, +1.0)
                 new_routes.append((new_hf, seg))
             routes = new_routes
+        return demand_h, demand_v
 
-        gx = fp.width / nx
-        gy = fp.height / ny
-        wirelength = float(demand_h.sum() * gx + demand_v.sum() * gy)
-        return GlobalRouteResult(
-            nx=nx,
-            ny=ny,
-            demand_h=demand_h,
-            demand_v=demand_v,
-            capacity_h=cap_h,
-            capacity_v=cap_v,
-            wirelength=wirelength,
-        )
+    # --------------------------------------------------------- fast kernel
+    def _negotiate_fast(self, segments, cap_h: float, cap_v: float,
+                        rng: np.random.Generator):
+        """Struct-of-rows kernel: flat row/column lists plus hot counts.
+
+        Demand lives in plain per-row (and per-column, for the vertical
+        layer) float lists instead of a numpy grid, so the negotiation
+        loop pays list-index costs rather than numpy scalar-indexing
+        dispatch on every edge.  Demand stays integer-valued, so an edge
+        is "hot" (contributes a nonzero overflow term) iff
+        ``demand + 1 > cap``; per-row and per-column hot-edge counts —
+        maintained incrementally as commits cross the capacity
+        threshold — let runs through clean rows cost exactly ``hi - lo``
+        without touching a single edge.  Skipping the ``over += 0.0``
+        terms of cold edges is bitwise-safe (the accumulator never goes
+        negative), so every cost, tie-break, and RNG draw matches the
+        scalar kernel exactly.
+        """
+        nx, ny = self.nx, self.ny
+        penalty = self.overflow_penalty
+        dh = [[0.0] * max(1, nx - 1) for _ in range(ny)]
+        dvc = [[0.0] * max(1, ny - 1) for _ in range(nx)]  # column-major
+        hot_h = [0] * ny
+        hot_v = [0] * nx
+
+        def run_cost_h(j: int, lo: int, hi: int) -> float:
+            if lo == hi or not hot_h[j]:
+                return float(hi - lo)
+            row = dh[j]
+            over = 0.0
+            for i in range(lo, hi):
+                d = row[i] + 1.0 - cap_h
+                if d > 0.0:
+                    over += d
+            return (hi - lo) + penalty * over
+
+        def run_cost_v(i: int, lo: int, hi: int) -> float:
+            if lo == hi or not hot_v[i]:
+                return float(hi - lo)
+            col = dvc[i]
+            over = 0.0
+            for j in range(lo, hi):
+                d = col[j] + 1.0 - cap_v
+                if d > 0.0:
+                    over += d
+            return (hi - lo) + penalty * over
+
+        def commit(row_idx: int, col_idx: int, ilo: int, ihi: int,
+                   jlo: int, jhi: int, sign: float) -> None:
+            if ihi > ilo:
+                row = dh[row_idx]
+                hot = hot_h[row_idx]
+                for i in range(ilo, ihi):
+                    d = row[i]
+                    nd = d + sign
+                    row[i] = nd
+                    if (nd + 1.0 > cap_h) != (d + 1.0 > cap_h):
+                        hot += 1 if nd > d else -1
+                hot_h[row_idx] = hot
+            if jhi > jlo:
+                col = dvc[col_idx]
+                hot = hot_v[col_idx]
+                for j in range(jlo, jhi):
+                    d = col[j]
+                    nd = d + sign
+                    col[j] = nd
+                    if (nd + 1.0 > cap_v) != (d + 1.0 > cap_v):
+                        hot += 1 if nd > d else -1
+                hot_v[col_idx] = hot
+
+        n_segs = len(segments)
+        hfs = [False] * n_segs
+        integers = rng.integers
+        for pass_no in range(1 + self.negotiation_rounds):
+            rip_up = pass_no > 0
+            for s in range(n_segs):
+                ia, ja, ib, jb = segments[s]
+                ilo, ihi = (ia, ib) if ia <= ib else (ib, ia)
+                jlo, jhi = (ja, jb) if ja <= jb else (jb, ja)
+                if rip_up:
+                    if hfs[s]:
+                        commit(ja, ib, ilo, ihi, jlo, jhi, -1.0)
+                    else:
+                        commit(jb, ia, ilo, ihi, jlo, jhi, -1.0)
+                c_hf = run_cost_h(ja, ilo, ihi) + run_cost_v(ib, jlo, jhi)
+                c_vf = run_cost_v(ia, jlo, jhi) + run_cost_h(jb, ilo, ihi)
+                if abs(c_hf - c_vf) < 1e-9:
+                    hf = bool(integers(0, 2))
+                else:
+                    hf = c_hf < c_vf
+                if hf:
+                    commit(ja, ib, ilo, ihi, jlo, jhi, +1.0)
+                else:
+                    commit(jb, ia, ilo, ihi, jlo, jhi, +1.0)
+                hfs[s] = hf
+        demand_h = np.array(dh, dtype=float)
+        demand_v = np.ascontiguousarray(np.array(dvc, dtype=float).T)
+        return demand_h, demand_v
 
 
 @dataclass
@@ -256,6 +440,7 @@ class DetailedRouter:
         spill_rate: float = 0.55,
         shock_prob: float = 0.3,
         shock_frac: float = 0.6,
+        vectorize: bool = True,
     ):
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
@@ -269,6 +454,7 @@ class DetailedRouter:
         self.spill_rate = spill_rate
         self.shock_prob = shock_prob
         self.shock_frac = shock_frac
+        self.vectorize = vectorize
 
     def route(
         self,
@@ -332,7 +518,7 @@ class DetailedRouter:
         p_spill = self.spill_rate * _sigmoid(8.0 * (neighborhood - 1.0))
         spilled = rng.binomial(fixed, np.clip(p_spill, 0.0, 1.0))
         remaining = violations - fixed
-        incoming = _scatter_to_neighbors(spilled, rng)
+        incoming = _scatter_to_neighbors(spilled, rng, vectorize=self.vectorize)
         out = np.maximum(0.0, remaining + incoming)
         # reroute shock: opening a region for rip-up occasionally exposes
         # new violations (pin access, via shorts) in proportion to local
@@ -359,15 +545,25 @@ def _box_mean(grid: np.ndarray) -> np.ndarray:
     return out / 9.0
 
 
-def _scatter_to_neighbors(counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Move each count into a random 4-neighbor gcell (multinomial split)."""
+def _scatter_to_neighbors(
+    counts: np.ndarray, rng: np.random.Generator, vectorize: bool = True
+) -> np.ndarray:
+    """Move each count into a random 4-neighbor gcell (multinomial split).
+
+    The batched draw (``rng.multinomial`` over the whole count vector)
+    consumes the generator stream exactly like the historical per-cell
+    loop, so both forms produce identical scatters from the same seed.
+    """
     out = np.zeros_like(counts, dtype=float)
     ny, nx = counts.shape
     js, is_ = np.nonzero(counts)
     if js.size == 0:
         return out
     n_per_cell = counts[js, is_].astype(int)
-    draws = np.stack([rng.multinomial(n, [0.25] * 4) for n in n_per_cell])
+    if vectorize:
+        draws = rng.multinomial(n_per_cell, [0.25] * 4)
+    else:
+        draws = np.stack([rng.multinomial(n, [0.25] * 4) for n in n_per_cell])
     for d, (dj, di) in enumerate(((0, 1), (0, -1), (1, 0), (-1, 0))):
         tj = np.clip(js + dj, 0, ny - 1)
         ti = np.clip(is_ + di, 0, nx - 1)

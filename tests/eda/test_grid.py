@@ -140,3 +140,26 @@ def test_density_sta_and_congestion_weights_bin_identically(
         j0, j1 = bin_index(min(ys), fp.height, ny), bin_index(max(ys), fp.height, ny)
         worst = float(small_congestion[j0 : j1 + 1, i0 : i1 + 1].max())
         assert weight == 1.0 + 2.0 * max(0.0, worst - 0.9)
+
+
+def test_gcell_indices_matches_scalar_on_boundary_and_interior_points():
+    from repro.eda.grid import gcell_indices
+
+    rng = np.random.default_rng(13)
+    width, height, nx, ny = 23.7, 17.1, 11, 7
+    xs = np.concatenate([
+        rng.uniform(-1.0, width + 1.0, 200),
+        np.array([0.0, width, width / 2, -0.25]),
+        np.arange(nx) * width / nx,  # bin edges
+    ])
+    ys = np.concatenate([
+        rng.uniform(-1.0, height + 1.0, 200),
+        np.array([height, 0.0, -0.5, height / 3]),
+        np.arange(nx) * height / nx,
+    ])
+    ii, jj = gcell_indices(xs, ys, width, height, nx, ny)
+    for k in range(xs.shape[0]):
+        assert ii[k] == bin_index(float(xs[k]), width, nx)
+        assert jj[k] == bin_index(float(ys[k]), height, ny)
+    assert ii.min() >= 0 and ii.max() <= nx - 1
+    assert jj.min() >= 0 and jj.max() <= ny - 1
