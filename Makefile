@@ -4,16 +4,26 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint smoke metrics-smoke stage-smoke sta-smoke bench-trajectory bench
+.PHONY: test lint lint-perf smoke metrics-smoke stage-smoke sta-smoke bench-trajectory bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Determinism & parallel-safety static analysis (rule catalog:
 # docs/static-analysis.md).  --strict: any finding fails, including
-# warnings and stale suppressions.
+# warnings and stale suppressions.  --project enables the cross-file
+# rules (R009-R012) over the import/call graph; the content-hash cache
+# (.repro-lint-cache.json) makes warm re-runs near-instant.
 lint:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli lint --strict src/repro
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli lint --strict \
+		--project src/repro
+
+# Analyzer cache smoke: cold vs warm project lint over src/repro must
+# produce identical reports with a >=5x warm speedup and zero cache
+# misses.
+lint-perf:
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/lint_perf_benchmark.py --smoke
 
 # One small parallel campaign through the FlowExecutor, bounded by a
 # hard timeout: proves the process pool, the result cache and the CLI
@@ -56,13 +66,14 @@ sta-smoke:
 
 # Benchmark trajectory: run the STA benchmarks (vectorized-kernel
 # speedup on the largest corpus design, incremental-update work saved
-# on PULPino) and the place & route kernel benchmark (annealer and
-# global-router fast paths), merge their summaries into BENCH_sta.json
-# / BENCH_place_route.json, and fail on regression against the
-# committed baselines.  Thresholds are ratios measured within one run,
-# so they carry across machines.
+# on PULPino), the place & route kernel benchmark (annealer and
+# global-router fast paths) and the lint-analyzer cache benchmark,
+# merge their summaries into BENCH_sta.json / BENCH_place_route.json /
+# BENCH_lint.json, and fail on regression against the committed
+# baselines.  Thresholds are ratios measured within one run, so they
+# carry across machines.
 bench-trajectory:
-	rm -f BENCH_sta.json BENCH_place_route.json
+	rm -f BENCH_sta.json BENCH_place_route.json BENCH_lint.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/vectorized_sta_benchmark.py --smoke --json BENCH_sta.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
@@ -74,6 +85,10 @@ bench-trajectory:
 		--json BENCH_place_route.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_place_route.json \
 		benchmarks/BENCH_place_route_baseline.json
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/lint_perf_benchmark.py --smoke --json BENCH_lint.json
+	$(PYTHON) benchmarks/check_bench_regression.py BENCH_lint.json \
+		benchmarks/BENCH_lint_baseline.json
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,10 +1,10 @@
 """Gate a benchmark JSON against its committed baseline.
 
-``make bench-trajectory`` runs the STA and place/route benchmarks,
-which merge their summaries into ``BENCH_sta.json`` /
-``BENCH_place_route.json``; this script compares such a file to its
-committed baseline (``benchmarks/BENCH_*_baseline.json``) and exits 1
-on regression.  The baseline decides which sections are required: any
+``make bench-trajectory`` runs the STA, place/route and lint-analyzer
+benchmarks, which merge their summaries into ``BENCH_sta.json`` /
+``BENCH_place_route.json`` / ``BENCH_lint.json``; this script compares
+such a file to its committed baseline
+(``benchmarks/BENCH_*_baseline.json``) and exits 1 on regression.  The baseline decides which sections are required: any
 section present in the baseline must be present — and healthy — in the
 current file, so the one script gates both benchmark families.
 
@@ -18,8 +18,9 @@ What counts as a regression is chosen to be machine-independent:
 - wall-clock ``speedup`` ratios are measured on the same machine in
   the same run, which cancels absolute machine speed but still jitters
   under CI load: each only has to clear its section's absolute floor
-  (5x for the vectorized-STA and annealer kernels, 3x for global
-  routing) and ``--speedup-fraction`` (default 35%) of the baseline.
+  (5x for the vectorized-STA and annealer kernels and the warm lint
+  cache, 3x for global routing) and ``--speedup-fraction`` (default
+  35%) of the baseline.
 
 Usage::
 
@@ -40,6 +41,7 @@ WALL_FLOORS = {
     "vectorized": 5.0,
     "annealer": 5.0,
     "groute": 3.0,
+    "lint": 5.0,
 }
 
 

@@ -35,6 +35,9 @@ class LintConfig:
     fail_on: Severity = Severity.ERROR      # exit nonzero at/above this
     strict: bool = False                     # fail on ANY active finding
     project_root: Optional[str] = None       # repo root (docs/, README.md)
+    project: bool = False                    # whole-program mode (R009-R012)
+    use_cache: bool = True                   # incremental cache (project mode)
+    cache_path: Optional[str] = None         # default: <root>/.repro-lint-cache.json
 
     def enabled_rules(self) -> List[Rule]:
         rules = all_rules()
@@ -168,7 +171,7 @@ class Analyzer:
         module_paths = set()
         for module in project.modules:
             module_paths.add(module.path)
-            suppressions = find_suppressions(module.source)
+            suppressions = find_suppressions(module.source, module.tree)
             active, silenced = apply_suppressions(
                 by_module[module.path], suppressions, module.path
             )
@@ -191,5 +194,13 @@ class Analyzer:
 
 def lint_paths(paths: Sequence[str],
                config: Optional[LintConfig] = None) -> LintReport:
-    """Convenience: configure, run, report."""
+    """Convenience: configure, run, report.
+
+    With ``config.project`` set, dispatches to the whole-program
+    analyzer (:func:`repro.analysis.project.lint_project_paths`) —
+    summary-based cross-file rules plus the incremental cache.
+    """
+    if config is not None and config.project:
+        from repro.analysis.project import lint_project_paths
+        return lint_project_paths(paths, config)
     return Analyzer(config).lint_paths(paths)

@@ -75,6 +75,20 @@ class Finding:
             out["suppression_note"] = self.suppression_note
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (the incremental cache round-trip)."""
+        return cls(
+            rule_id=str(data["rule"]),
+            severity=Severity.parse(str(data["severity"])),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            message=str(data["message"]),
+            suppressed=bool(data.get("suppressed", False)),
+            suppression_note=data.get("suppression_note"),
+        )
+
 
 #: pseudo rule ids emitted by the framework itself (not registry rules)
 PARSE_ERROR_RULE = "E000"          # file failed to parse
@@ -90,6 +104,8 @@ class LintReport:
     suppressed: list = field(default_factory=list)     # silenced findings
     n_files: int = 0
     rule_ids: tuple = ()
+    #: graph/cache statistics from ``--project`` mode (None otherwise)
+    project_stats: Optional[dict] = None
 
     def count_at_least(self, severity: Severity) -> int:
         return sum(1 for f in self.findings if f.severity >= severity)

@@ -77,12 +77,29 @@ class Rule:
     def check_project(self, project: ProjectInfo) -> Iterable[Finding]:
         return ()
 
+    def check_context(self, context) -> Iterable[Finding]:
+        """Whole-program hook, ``--project`` mode only.
+
+        ``context`` is a :class:`repro.analysis.project.ProjectContext`
+        built from per-file summaries (import graph, symbol table, call
+        graph, lock-context fixpoints).  Rules implementing this hook
+        see the whole program even on warm incremental runs, where
+        unchanged files are never re-parsed.  In project mode this hook
+        *replaces* :meth:`check_project` (which needs full ASTs).
+        """
+        return ()
+
     def finding(self, module: ModuleInfo, line: int, message: str,
                 col: int = 0, severity: Optional[Severity] = None) -> Finding:
+        return self.finding_at(module.path, line, message, col, severity)
+
+    def finding_at(self, path: str, line: int, message: str, col: int = 0,
+                   severity: Optional[Severity] = None) -> Finding:
+        """Like :meth:`finding`, for hooks that see summaries, not ASTs."""
         return Finding(
             rule_id=self.rule_id,
             severity=self.severity if severity is None else severity,
-            path=module.path,
+            path=path,
             line=line,
             col=col,
             message=message,

@@ -24,11 +24,22 @@ def format_human(report: LintReport, verbose: bool = False) -> str:
     if lines:
         lines.append("")
     lines.append(summary)
+    stats = report.project_stats
+    if stats is not None:
+        tail = (f"project graph: {stats['functions']} functions, "
+                f"{stats['import_edges']} import edges, "
+                f"{stats['call_edges']} call edges, "
+                f"{stats['lock_tokens']} locks")
+        cache = stats.get("cache")
+        if cache is not None:
+            tail += (f"; cache {cache['hits']} hit(s) / "
+                     f"{cache['misses']} miss(es)")
+        lines.append(tail)
     return "\n".join(lines)
 
 
 def to_dict(report: LintReport) -> Dict[str, object]:
-    return {
+    out: Dict[str, object] = {
         "version": 1,
         "files_checked": report.n_files,
         "rules": list(report.rule_ids),
@@ -42,6 +53,9 @@ def to_dict(report: LintReport) -> Dict[str, object]:
                         if f.severity == Severity.INFO),
         },
     }
+    if report.project_stats is not None:
+        out["project"] = report.project_stats
+    return out
 
 
 def format_json(report: LintReport) -> str:

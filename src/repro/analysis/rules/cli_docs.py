@@ -76,3 +76,17 @@ class UndocumentedCliFlagRule(Rule):
                     f"CLI flag '{flag}' is not mentioned in README.md or "
                     f"any doc under docs/; document it (docs/cli.md)",
                 )
+
+    def check_context(self, context):
+        """Summary-based variant for ``--project`` mode (no ASTs)."""
+        for path, summary in context.summaries.items():
+            if path.rsplit("/", 1)[-1] != "cli.py" or not summary.cli_flags:
+                continue
+            docs = _docs_text(context.root)
+            for flag in sorted(summary.cli_flags):
+                if flag not in docs:
+                    yield self.finding_at(
+                        path, summary.cli_flags[flag],
+                        f"CLI flag '{flag}' is not mentioned in README.md or "
+                        f"any doc under docs/; document it (docs/cli.md)",
+                    )

@@ -1,0 +1,207 @@
+"""R011: scalar/vectorized kernel drift (project mode).
+
+The EDA kernels each keep a readable scalar path (``vectorize=False``)
+next to the fast vectorized one, and the frozen pre-vectorization
+copies live in ``tests/eda/*_reference.py`` as the equivalence oracle.
+That oracle only proves anything while the live scalar code and the
+frozen copy are *the same algorithm*: someone "fixing" the scalar path
+without touching the reference (or vice versa) silently turns the
+equivalence tests into a tautology check against stale code.
+
+Each reference module declares which live functions it freezes::
+
+    FROZEN_PAIRS = {
+        "src/repro/eda/placement.py::QuadraticPlacer._spread":
+            "ReferenceQuadraticPlacer._spread",
+    }
+
+The rule parses both sides, normalizes each function body
+(unparse -> reparse kills formatting/comments, docstrings dropped,
+names of the defs themselves canonicalized) and compares the AST
+dumps.  A mismatch is an ERROR on the live function; a manifest entry
+whose live or reference function no longer exists is an ERROR on the
+reference file, so the manifest cannot rot silently.
+
+Comparisons are cached in the project cache's aux section keyed by the
+content hashes of both files, so warm runs skip the parse entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register_rule
+
+#: where the frozen reference modules live, relative to the repo root
+REFERENCE_DIR = os.path.join("tests", "eda")
+
+
+def _iter_defs(node: ast.AST, prefix: str = ""):
+    """Yield (qualname, def-node) for every function, classes in path."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = prefix + child.name
+            yield name, child
+            yield from _iter_defs(child, name + ".")
+        elif isinstance(child, ast.ClassDef):
+            yield from _iter_defs(child, prefix + child.name + ".")
+        elif isinstance(child, (ast.If, ast.Try, ast.With, ast.For,
+                                ast.While)):
+            # defs nested under control flow keep their qualname
+            yield from _iter_defs(child, prefix)
+
+
+def _def_index(tree: ast.Module) -> Dict[str, ast.AST]:
+    return dict(_iter_defs(tree))
+
+
+def normalized_dump(node: ast.AST) -> str:
+    """Canonical text of one function: algorithm, not presentation.
+
+    Unparse -> reparse discards formatting and comments; docstrings are
+    stripped; the compared defs' own names are canonicalized (live and
+    reference spell the enclosing scope differently).
+    """
+    clone = ast.parse(ast.unparse(node)).body[0]
+    clone.name = "<kernel>"
+    for sub in ast.walk(clone):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.ClassDef)):
+            body = sub.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                sub.body = body[1:] or [ast.Pass()]
+    return ast.dump(clone, include_attributes=False)
+
+
+def _frozen_pairs(tree: ast.Module) -> Tuple[Dict[str, str], int]:
+    """FROZEN_PAIRS dict and its line, ({} , 0) when absent."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name) and \
+                stmt.targets[0].id == "FROZEN_PAIRS" and \
+                isinstance(stmt.value, ast.Dict):
+            pairs = {}
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if isinstance(key, ast.Constant) and \
+                        isinstance(value, ast.Constant):
+                    pairs[str(key.value)] = str(value.value)
+            return pairs, stmt.lineno
+    return {}, 0
+
+
+@register_rule
+class KernelDriftRule(Rule):
+    rule_id = "R011"
+    name = "scalar-kernel-drift"
+    severity = Severity.ERROR
+    description = (
+        "live scalar kernels must match their frozen copies in "
+        "tests/eda/*_reference.py (FROZEN_PAIRS manifests, --project mode)"
+    )
+
+    def check_context(self, context):
+        ref_dir = os.path.join(context.root, REFERENCE_DIR)
+        if not os.path.isdir(ref_dir):
+            return
+        ref_files = [
+            name for name in sorted(os.listdir(ref_dir))
+            if name.endswith("_reference.py")
+        ]
+        for name in ref_files:
+            yield from self._check_reference(
+                context, os.path.join(ref_dir, name),
+                f"{REFERENCE_DIR}/{name}".replace(os.sep, "/"))
+
+    # ---------------------------------------------------------------- one
+    def _check_reference(self, context, ref_abs: str,
+                         ref_rel: str) -> Iterable[Finding]:
+        try:
+            with open(ref_abs, "rb") as fh:
+                ref_raw = fh.read()
+        except OSError:
+            return
+        try:
+            ref_tree = ast.parse(ref_raw.decode("utf-8"))
+        except SyntaxError:
+            return  # the reference file is linted/tested elsewhere
+        pairs, manifest_line = _frozen_pairs(ref_tree)
+        # restrict to live files actually in the linted set, so linting
+        # a subtree never reports on files outside it
+        pairs = {key: value for key, value in pairs.items()
+                 if key.split("::", 1)[0] in context.summaries}
+        if not pairs:
+            return
+
+        live_sources: Dict[str, Optional[bytes]] = {}
+        for key in sorted(pairs):
+            live_rel = key.split("::", 1)[0]
+            if live_rel not in live_sources:
+                live_abs = os.path.join(context.root, live_rel)
+                try:
+                    with open(live_abs, "rb") as fh:
+                        live_sources[live_rel] = fh.read()
+                except OSError:
+                    live_sources[live_rel] = None
+
+        sig = hashlib.sha256()
+        sig.update(ref_raw)
+        for live_rel in sorted(live_sources):
+            sig.update(live_rel.encode())
+            sig.update(live_sources[live_rel] or b"<unreadable>")
+        signature = sig.hexdigest()
+        cached = context.aux_get(f"R011:{ref_rel}", signature)
+        if cached is not None:
+            for data in cached:
+                yield Finding.from_dict(data)
+            return
+
+        findings: List[Finding] = []
+        ref_defs = _def_index(ref_tree)
+        live_defs: Dict[str, Dict[str, ast.AST]] = {}
+        live_lines: Dict[str, Dict[str, int]] = {}
+        for live_rel, raw in live_sources.items():
+            if raw is None:
+                continue
+            try:
+                tree = ast.parse(raw.decode("utf-8"))
+            except SyntaxError:
+                continue  # E000 already reported by the driver
+            index = _def_index(tree)
+            live_defs[live_rel] = index
+            live_lines[live_rel] = {q: node.lineno
+                                    for q, node in index.items()}
+
+        for key in sorted(pairs):
+            live_rel, live_qual = key.split("::", 1)
+            ref_qual = pairs[key]
+            live_node = live_defs.get(live_rel, {}).get(live_qual)
+            ref_node = ref_defs.get(ref_qual)
+            if live_node is None or ref_node is None:
+                missing = (f"live function '{live_qual}' in {live_rel}"
+                           if live_node is None
+                           else f"reference function '{ref_qual}'")
+                findings.append(self.finding_at(
+                    ref_rel, manifest_line,
+                    f"FROZEN_PAIRS entry {key!r} is stale: {missing} "
+                    f"does not exist; update the manifest",
+                ))
+                continue
+            if normalized_dump(live_node) != normalized_dump(ref_node):
+                findings.append(self.finding_at(
+                    live_rel, live_lines[live_rel][live_qual],
+                    f"scalar kernel '{live_qual}' has drifted from its "
+                    f"frozen reference '{ref_qual}' ({ref_rel}); the "
+                    f"scalar/vectorized equivalence tests no longer "
+                    f"certify this code — re-freeze deliberately or "
+                    f"revert the drift",
+                ))
+
+        context.aux_put(f"R011:{ref_rel}", signature,
+                        [f.to_dict() for f in findings])
+        yield from findings

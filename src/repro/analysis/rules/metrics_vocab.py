@@ -115,3 +115,45 @@ class MetricsVocabularyRule(Rule):
                         f"in the linted tree; remove it or emit it",
                         severity=Severity.WARNING,
                     )
+
+    def check_context(self, context):
+        """Summary-based variant for ``--project`` mode (no ASTs)."""
+        schema_path = None
+        for path in context.summaries:
+            if path.endswith("metrics/schema.py"):
+                schema_path = path
+                break
+        vocabulary = (context.summaries[schema_path].vocabulary
+                      if schema_path is not None else None)
+        if vocabulary is None:
+            schema_path = None  # file present but no VOCABULARY dict
+            try:
+                from repro.metrics.schema import VOCABULARY
+            except ImportError:  # pragma: no cover - repro is importable here
+                return
+            vocabulary = {name: 0 for name in VOCABULARY}
+
+        emitted: Set[str] = set()
+        referenced: Set[str] = set()
+        for path, summary in context.summaries.items():
+            if path == schema_path:
+                continue
+            referenced.update(summary.metric_literals)
+            for line, name in summary.emit_sites:
+                emitted.add(name)
+                if name not in vocabulary:
+                    yield self.finding_at(
+                        path, line,
+                        f"metric '{name}' is not in the METRICS vocabulary "
+                        f"(repro.metrics.schema.VOCABULARY); records with it "
+                        f"are rejected at transmission time",
+                    )
+        if schema_path is not None:
+            for name in sorted(vocabulary):
+                if name not in emitted and name not in referenced:
+                    yield self.finding_at(
+                        schema_path, vocabulary[name],
+                        f"vocabulary entry '{name}' has no emitter anywhere "
+                        f"in the linted tree; remove it or emit it",
+                        severity=Severity.WARNING,
+                    )

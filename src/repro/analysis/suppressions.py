@@ -1,20 +1,25 @@
 """Inline suppressions: ``# repro: allow[R001] -- justification``.
 
 A suppression silences matching findings on its own line or on the line
-directly below (so it can sit above a long statement).  The
-justification after ``--`` is **required**: an allow-comment without one
-does not suppress anything and is itself reported (S001).  A suppression
-that silences no finding is reported as unused (S002) so stale allows
-rot out of the tree instead of hiding future regressions.
+directly below (so it can sit above a long statement).  When the line it
+anchors to is the *first* line of a multi-line statement, the
+suppression covers the statement's full line span — a finding reported
+on the third physical line of one long call is still silenced by the
+allow-comment trailing the call's opening line.  The justification
+after ``--`` is **required**: an allow-comment without one does not
+suppress anything and is itself reported (S001).  A suppression that
+silences no finding is reported as unused (S002) so stale allows rot
+out of the tree instead of hiding future regressions.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.findings import (
     SUPPRESSION_NO_JUSTIFICATION,
@@ -35,24 +40,56 @@ class Suppression:
     line: int                    # 1-based line the comment sits on
     rule_ids: Tuple[str, ...]
     justification: str           # "" when missing
+    #: last line covered (== anchor line for single-line statements;
+    #: the statement's end line when the anchor opens a multi-line one)
+    end_line: int = 0
     used: bool = field(default=False)
+
+    def __post_init__(self):
+        if not self.end_line:
+            self.end_line = self.line + 1
 
     def covers(self, rule_id: str, line: int) -> bool:
         return (rule_id in self.rule_ids
-                and line in (self.line, self.line + 1))
+                and self.line <= line <= max(self.end_line, self.line + 1))
 
 
-def find_suppressions(source: str) -> List[Suppression]:
+def _statement_spans(source: str, tree: Optional[ast.AST]) -> Dict[int, int]:
+    """First physical line of each statement -> last physical line.
+
+    When several statements open on one line (``if x: y = 1``) the
+    widest span wins.  An unparsable source yields no spans — the
+    suppression then falls back to its two-line window.
+    """
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return {}
+    spans: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and node.end_lineno is not None:
+            spans[node.lineno] = max(spans.get(node.lineno, 0),
+                                     node.end_lineno)
+    return spans
+
+
+def find_suppressions(source: str,
+                      tree: Optional[ast.AST] = None) -> List[Suppression]:
     """Scan a module's *comment tokens* for allow-comments, in line order.
 
     Tokenizing (rather than grepping lines) keeps allow-examples inside
     docstrings and string literals from being treated as suppressions.
+    Pass the module's parsed ``tree`` to avoid a redundant parse; it is
+    used to widen each suppression to the full span of the multi-line
+    statement it anchors to (its own line, or the line below).
     """
     out = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError):  # unparsable tail
         tokens = []
+    spans = _statement_spans(source, tree) if tokens else {}
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -63,10 +100,16 @@ def find_suppressions(source: str) -> List[Suppression]:
             part.strip() for part in match.group("rules").split(",")
             if part.strip()
         )
+        line = token.start[0]
+        # the statement the comment anchors to: the one opening on the
+        # comment's own line (trailing comment) or on the line below
+        # (comment sitting above the statement)
+        end_line = max(spans.get(line, line), spans.get(line + 1, line + 1))
         out.append(Suppression(
-            line=token.start[0],
+            line=line,
             rule_ids=rule_ids,
             justification=(match.group("why") or "").strip(),
+            end_line=end_line,
         ))
     return out
 

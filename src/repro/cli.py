@@ -253,6 +253,8 @@ def _cmd_lint(args) -> int:
         ignore=args.ignore.split(",") if args.ignore else (),
         fail_on=Severity.parse(args.fail_on),
         strict=args.strict,
+        project=args.project,
+        use_cache=not args.no_cache,
     )
     try:
         report = lint_paths(args.paths, config)
@@ -444,6 +446,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the rule catalog and exit")
     lint.add_argument("--verbose", action="store_true",
                       help="also print suppressed findings")
+    lint.add_argument("--project", action="store_true",
+                      help="whole-program mode: build the import/call graph "
+                           "once and enable the cross-file rules (R009-R012)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="with --project: ignore and do not write the "
+                           "incremental cache (.repro-lint-cache.json)")
     lint.set_defaults(func=_cmd_lint)
 
     cost = sub.add_parser("cost", help="ITRS design-cost projection")

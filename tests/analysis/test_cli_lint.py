@@ -92,3 +92,40 @@ def test_shipped_tree_is_lint_clean_strict(capsys):
     """Acceptance criterion: `repro lint --strict src/repro` exits 0."""
     src = os.path.join(REPO_ROOT, "src", "repro")
     assert main(["lint", "--strict", src]) == 0, capsys.readouterr().out
+
+
+def test_lint_project_mode_exit_and_stats_line(violating_file, capsys):
+    assert main(["lint", "--project", "--no-cache", violating_file]) == 1
+    out = capsys.readouterr().out
+    assert "R001 error:" in out
+    assert "project graph:" in out
+
+
+def test_lint_project_json_carries_graph_stats(violating_file, capsys):
+    main(["lint", "--project", "--no-cache", "--format", "json",
+          violating_file])
+    data = json.loads(capsys.readouterr().out)
+    assert "project" in data
+    assert data["project"]["files"] == 1
+    assert "cache" not in data["project"]  # --no-cache: no counters
+
+
+def test_lint_project_writes_and_reuses_cache(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text("")
+    path = tmp_path / "mod.py"
+    path.write_text("def f():\n    return 1\n")
+    assert main(["lint", "--project", str(path)]) == 0
+    cache = tmp_path / ".repro-lint-cache.json"
+    assert cache.is_file()
+    capsys.readouterr()
+    assert main(["lint", "--project", "--format", "json", str(path)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["project"]["cache"] == {"hits": 1, "misses": 0}
+
+
+def test_shipped_tree_is_project_lint_clean_strict(capsys):
+    """Acceptance criterion: `repro lint --strict --project src/repro`
+    exits 0 with the cross-file rules R009-R012 enabled."""
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    assert main(["lint", "--strict", "--project", "--no-cache", src]) == 0, \
+        capsys.readouterr().out

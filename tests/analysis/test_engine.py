@@ -57,6 +57,58 @@ def test_unused_suppression_reported():
     assert [f.rule_id for f in report.findings] == ["S002"]
 
 
+def test_suppression_covers_multiline_statement_span():
+    # the finding lands on the call's *last* physical line; the allow
+    # trailing the opening line must still cover it
+    report = analyze(
+        "import random\n"
+        "x = max(  # repro: allow[R001] -- exercising the span widening\n"
+        "    0.0,\n"
+        "    random.random(),\n"
+        ")\n"
+    )
+    assert report.findings == []
+    assert [f.rule_id for f in report.suppressed] == ["R001"]
+
+
+def test_suppression_above_multiline_statement_covers_span():
+    report = analyze(
+        "import random\n"
+        "# repro: allow[R001] -- line-above form, multi-line statement\n"
+        "x = max(\n"
+        "    0.0,\n"
+        "    random.random(),\n"
+        ")\n"
+    )
+    assert report.findings == []
+    assert [f.rule_id for f in report.suppressed] == ["R001"]
+
+
+def test_suppression_span_does_not_leak_past_statement():
+    report = analyze(
+        "import random\n"
+        "x = max(  # repro: allow[R001] -- covers only this statement\n"
+        "    0.0,\n"
+        "    1.0,\n"
+        ")\n"
+        "y = random.random()\n"
+    )
+    rule_ids = sorted(f.rule_id for f in report.findings)
+    assert rule_ids == ["R001", "S002"]
+
+
+def test_find_suppressions_records_statement_end_line():
+    source = (
+        "# repro: allow[R003] -- above a 3-line statement\n"
+        "items = sorted(\n"
+        "    data,\n"
+        ")\n"
+    )
+    sups = find_suppressions(source, ast.parse(source))
+    assert len(sups) == 1
+    assert (sups[0].line, sups[0].end_line) == (1, 4)
+
+
 def test_suppression_for_other_rule_does_not_silence():
     report = analyze(
         "import random\nx = random.random()  # repro: allow[R003] -- wrong id\n"
