@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-perf smoke metrics-smoke stage-smoke sta-smoke bench-trajectory bench
+.PHONY: test lint lint-perf smoke metrics-smoke stage-smoke sta-smoke dse-smoke bench-trajectory bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -64,16 +64,29 @@ sta-smoke:
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/incremental_sta_benchmark.py --smoke
 
+# DSE kill-policy smoke: the same sweep campaign twice through the
+# declarative engine — blind vs. online MDP killing — asserting the
+# doomed points are killed, the best result is bit-identical and the
+# killing campaign executes >=1.3x less runtime proxy; then one CLI
+# engine run with killing and a surrogate.
+dse-smoke:
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/dse_kill_benchmark.py --smoke
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) -m repro.cli dse \
+		--design MCU --strategy explorer --rounds 2 --concurrent 3 \
+		--kill mdp --surrogate forest --seed 2
+
 # Benchmark trajectory: run the STA benchmarks (vectorized-kernel
 # speedup on the largest corpus design, incremental-update work saved
 # on PULPino), the place & route kernel benchmark (annealer and
-# global-router fast paths) and the lint-analyzer cache benchmark,
-# merge their summaries into BENCH_sta.json / BENCH_place_route.json /
-# BENCH_lint.json, and fail on regression against the committed
+# global-router fast paths), the lint-analyzer cache benchmark and the
+# DSE kill-policy benchmark, merge their summaries into
+# BENCH_sta.json / BENCH_place_route.json / BENCH_lint.json /
+# BENCH_dse.json, and fail on regression against the committed
 # baselines.  Thresholds are ratios measured within one run, so they
 # carry across machines.
 bench-trajectory:
-	rm -f BENCH_sta.json BENCH_place_route.json BENCH_lint.json
+	rm -f BENCH_sta.json BENCH_place_route.json BENCH_lint.json BENCH_dse.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/vectorized_sta_benchmark.py --smoke --json BENCH_sta.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
@@ -89,6 +102,10 @@ bench-trajectory:
 		benchmarks/lint_perf_benchmark.py --smoke --json BENCH_lint.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_lint.json \
 		benchmarks/BENCH_lint_baseline.json
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/dse_kill_benchmark.py --smoke --json BENCH_dse.json
+	$(PYTHON) benchmarks/check_bench_regression.py BENCH_dse.json \
+		benchmarks/BENCH_dse_baseline.json
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -12,9 +12,10 @@ What counts as a regression is chosen to be machine-independent:
 
 - correctness flags (``bit_identical``, ``qor_identical``) must hold —
   they are deterministic;
-- the incremental ``work_ratio`` is a runtime-*proxy* ratio, also
-  deterministic: it must stay within ``--proxy-tolerance`` (default
-  25%) of the baseline and above the 2x floor;
+- ``work_ratio`` sections are runtime-*proxy* ratios, also
+  deterministic: each must stay within ``--proxy-tolerance`` (default
+  25%) of the baseline and above its absolute floor (2x for the
+  incremental-STA section, 1.3x for the DSE kill-policy section);
 - wall-clock ``speedup`` ratios are measured on the same machine in
   the same run, which cancels absolute machine speed but still jitters
   under CI load: each only has to clear its section's absolute floor
@@ -42,6 +43,21 @@ WALL_FLOORS = {
     "annealer": 5.0,
     "groute": 3.0,
     "lint": 5.0,
+}
+
+# runtime-proxy sections: name -> absolute work_ratio floor.  These are
+# deterministic (simulated tool cost, not wall clock): "incremental" is
+# timing work avoided by dirty-cone STA, "dse" is router work avoided
+# by the online kill policy at unchanged best QoR.
+PROXY_FLOORS = {
+    "incremental": 2.0,
+    "dse": 1.3,
+}
+
+#: what a broken qor_identical flag means, per proxy section
+_PROXY_QOR_MESSAGES = {
+    "incremental": "incremental STA changed the optimizer QoR",
+    "dse": "the kill policy changed the campaign's best QoR",
 }
 
 
@@ -80,27 +96,29 @@ def main(argv=None) -> int:
         print(f"{section}: {now['speedup']:.1f}x "
               f"(baseline {base['speedup']:.1f}x, floor {floor:.1f}x)")
 
-    inc_base = baseline.get("incremental")
-    if inc_base is not None:
-        inc_now = current.get("incremental")
-        if inc_now is None:
-            failures.append("missing 'incremental' section")
-        else:
-            if not inc_now.get("qor_identical"):
-                failures.append("incremental STA changed the optimizer QoR")
-            floor = max(2.0,
-                        (1.0 - args.proxy_tolerance) * inc_base["work_ratio"])
-            if inc_now["work_ratio"] < floor:
-                failures.append(
-                    f"incremental work_ratio regressed: "
-                    f"{inc_now['work_ratio']:.2f}x < {floor:.2f}x "
-                    f"(baseline {inc_base['work_ratio']:.2f}x)")
-            print(f"incremental: {inc_now['work_ratio']:.2f}x less timing "
-                  f"work (baseline {inc_base['work_ratio']:.2f}x, "
-                  f"floor {floor:.2f}x)")
+    for section, abs_floor in PROXY_FLOORS.items():
+        base = baseline.get(section)
+        if base is None:
+            continue
+        now = current.get(section)
+        if now is None:
+            failures.append(f"missing '{section}' section")
+            continue
+        if not now.get("qor_identical"):
+            failures.append(_PROXY_QOR_MESSAGES[section])
+        floor = max(abs_floor,
+                    (1.0 - args.proxy_tolerance) * base["work_ratio"])
+        if now["work_ratio"] < floor:
+            failures.append(
+                f"{section} work_ratio regressed: "
+                f"{now['work_ratio']:.2f}x < {floor:.2f}x "
+                f"(baseline {base['work_ratio']:.2f}x)")
+        print(f"{section}: {now['work_ratio']:.2f}x less executed "
+              f"work (baseline {base['work_ratio']:.2f}x, "
+              f"floor {floor:.2f}x)")
 
     if not failures and not any(
-            key in baseline for key in (*WALL_FLOORS, "incremental")):
+            key in baseline for key in (*WALL_FLOORS, *PROXY_FLOORS)):
         failures.append("baseline has no recognized benchmark sections")
 
     for failure in failures:

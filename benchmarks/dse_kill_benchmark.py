@@ -1,0 +1,156 @@
+"""DSE kill-policy benchmark: a sweep campaign with and without killing.
+
+A design-space sweep inevitably launches some doomed points — over-
+utilized, under-efforted configurations whose detailed-route DRVs
+diverge instead of converging, burning the router's full iteration
+budget before failing anyway (paper Sec 5: predict-and-kill doomed
+runs).  This benchmark runs the same fixed sweep twice through
+:class:`~repro.dse.DSEEngine` (``strategy="sweep"``, so the evaluated
+set and every run seed are fixed up front, independent of outcomes):
+
+- blind: every run executes to its natural end — doomed points pay
+  the full ``router_max_iterations`` leash;
+- killing: the MDP strategy-card policy (``train_kill_policy("mdp")``)
+  rides the executor's ``stop_callback`` path and aborts a run as soon
+  as its DRV history says it is doomed.
+
+The sweep mixes genuinely divergent points (high utilization, low
+router effort, a long 400-iteration leash) with healthy points that
+converge in a handful of iterations.  Doomed points fail under both
+campaigns — killed early or cap-exhausted late — so killing is a pure
+cost optimization, which is exactly what the checks assert (exit code
+1 on failure):
+
+- **QoR identical**: both campaigns deliver the same best result and
+  the same best score (the winner is a healthy run the policy never
+  touches);
+- every doomed point is killed and no healthy point is;
+- the blind campaign executes >= 1.3x more ``runtime_proxy`` than the
+  killing campaign (``ExecutorStats.runtime_proxy_executed``).
+
+Smoke mode (``--smoke``) drops to 2 doomed + 1 healthy point for CI
+while still asserting everything above.  ``--json PATH`` merges a
+machine-readable summary into ``PATH`` under the ``"dse"`` key (see
+``make bench-trajectory`` / ``benchmarks/check_bench_regression.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/dse_kill_benchmark.py
+    PYTHONPATH=src python benchmarks/dse_kill_benchmark.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.generators import design_profile
+from repro.core.parallel import FlowExecutor
+from repro.dse import DSEEngine, train_kill_policy
+
+#: (target GHz, utilization, router effort) of points whose DRVs
+#: diverge — the router never closes, so the 400-iteration leash is
+#: pure waste that the kill policy can reclaim.
+DOOMED = [
+    (0.90, 0.92, 0.20),
+    (0.85, 0.90, 0.25),
+    (0.88, 0.91, 0.20),
+    (0.92, 0.90, 0.25),
+]
+
+#: target GHz of healthy points; they converge within a short leash
+#: and one of them is the campaign's best run.
+HEALTHY = [0.5, 0.6]
+
+
+def sweep_points(smoke: bool):
+    doomed = DOOMED[:2] if smoke else DOOMED
+    healthy = HEALTHY[:1] if smoke else HEALTHY
+    points = [
+        dict(target_clock_ghz=target, synth_effort=0.1, utilization=util,
+             router_effort=effort, router_max_iterations=400)
+        for target, util, effort in doomed
+    ]
+    points += [
+        dict(target_clock_ghz=target, synth_effort=0.5, utilization=0.65,
+             router_effort=0.8, router_max_iterations=20)
+        for target in healthy
+    ]
+    return points, len(doomed)
+
+
+def run_campaign(spec, points, seed: int, kill_policy):
+    with FlowExecutor(n_workers=1, cache=None) as executor:
+        engine = DSEEngine(strategy="sweep", executor=executor,
+                           kill_policy=kill_policy,
+                           params={"points": points, "n_concurrent": 3})
+        result = engine.run(spec, seed=seed)
+        return result, executor.stats.runtime_proxy_executed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--design", default="MCU", help="design profile")
+    parser.add_argument("--seed", type=int, default=11, help="campaign seed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI run: 3 points, same assertions")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="merge results under 'dse' in PATH")
+    args = parser.parse_args(argv)
+
+    spec = design_profile(args.design)
+    points, n_doomed = sweep_points(args.smoke)
+    policy = train_kill_policy("mdp", seed=0)
+    print(f"{spec.name}: sweeping {len(points)} points "
+          f"({n_doomed} doomed on a 400-iteration leash), seed={args.seed}")
+
+    killed, proxy_kill = run_campaign(spec, points, args.seed, policy)
+    blind, proxy_blind = run_campaign(spec, points, args.seed, None)
+
+    # --- QoR identity -----------------------------------------------------
+    qor_identical = (killed.best_result == blind.best_result
+                     and killed.best_score == blind.best_score)
+    print(f"best score: killing={killed.best_score:.4f} "
+          f"blind={blind.best_score:.4f}")
+    if not qor_identical:
+        print("FAIL: the kill policy changed the campaign's best result")
+        return 1
+    print("best result bit-identical between campaigns")
+
+    # --- kill precision ---------------------------------------------------
+    print(f"killed {killed.n_killed}/{n_doomed} doomed runs, saving "
+          f"{killed.kill_proxy_saved:.0f} router proxy")
+    if killed.n_killed != n_doomed:
+        print(f"FAIL: expected exactly the {n_doomed} doomed runs killed, "
+              f"got {killed.n_killed}")
+        return 1
+
+    # --- cost -------------------------------------------------------------
+    ratio = proxy_blind / proxy_kill if proxy_kill else float("inf")
+    print(f"executed runtime_proxy: blind={proxy_blind:.0f} "
+          f"killing={proxy_kill:.0f} -> {ratio:.2f}x less executed work")
+    if args.json:
+        from vectorized_sta_benchmark import merge_json
+
+        merge_json(args.json, "dse", {
+            "design": spec.name,
+            "points": len(points),
+            "n_doomed": n_doomed,
+            "n_killed": killed.n_killed,
+            "proxy_kill": round(proxy_kill, 1),
+            "proxy_blind": round(proxy_blind, 1),
+            "kill_proxy_saved": round(killed.kill_proxy_saved, 1),
+            "work_ratio": round(ratio, 2),
+            "qor_identical": qor_identical,
+        })
+        print(f"wrote 'dse' section to {args.json}")
+    if ratio < 1.3:
+        print("FAIL: expected >=1.3x less executed runtime_proxy with "
+              "the kill policy")
+        return 1
+    print("OK: >=1.3x executed work saved at identical best QoR")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

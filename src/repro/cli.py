@@ -9,6 +9,9 @@ Python:
 - ``repro doomed`` — train and evaluate the doomed-run strategy card;
 - ``repro mab`` — the Fig 7 bandit tuning loop;
 - ``repro explore`` — GWTW trajectory exploration (Fig 5/6);
+- ``repro dse`` — the declarative DSE engine: any registered strategy
+  under a budget, with optional online doomed-run killing and a
+  surrogate proposer (see ``docs/dse.md``);
 - ``repro cost`` — ITRS design-cost projections;
 - ``repro metrics summary`` — inspect a collected METRICS JSONL file;
 - ``repro lint`` — determinism & parallel-safety static analysis
@@ -181,6 +184,75 @@ def _cmd_explore(args) -> int:
     return 0 if result.best_result is not None else 1
 
 
+def _cmd_dse(args) -> int:
+    from repro.bench.generators import design_profile
+    from repro.dse import Budget, DSEEngine, SurrogateProposer, train_kill_policy
+
+    budget = Budget(max_runs=args.budget_runs,
+                    max_runtime_proxy=args.budget_proxy)
+    if args.strategy in ("gwtw", "independent", "multistart", "random"):
+        # landscape strategies search netlist bisection, not flow options
+        from repro.core.search.landscape import BisectionProblem
+        from repro.eda.library import make_default_library
+        from repro.eda.synthesis import synthesize
+
+        spec = design_profile(args.design)
+        netlist = synthesize(spec, make_default_library(), 0.5, args.seed)
+        problem = BisectionProblem.from_netlist(netlist)
+        engine = DSEEngine(strategy=args.strategy, budget=budget)
+        result = engine.run(problem, seed=args.seed)
+        print(f"strategy={args.strategy} design={spec.name} "
+              f"({problem.n_nodes} nodes): best cut cost "
+              f"{result.best_score:.1f} after {result.n_runs} searches")
+        return 0
+
+    kill_policy = None
+    if args.kill != "none":
+        kill_policy = train_kill_policy(args.kill, seed=args.seed,
+                                        consecutive=args.kill_consecutive)
+    surrogate = None
+    if args.surrogate != "none":
+        surrogate = SurrogateProposer(model=args.surrogate,
+                                      random_state=args.seed)
+    params = {"n_concurrent": args.concurrent}
+    if args.strategy == "explorer":
+        params["n_rounds"] = args.rounds
+    elif args.strategy == "bandit":
+        params["n_iterations"] = args.rounds
+    elif args.strategy == "sweep":
+        params["limit"] = args.limit
+    spec = design_profile(args.design)
+    with _make_executor(args) as executor:
+        engine = DSEEngine(
+            strategy=args.strategy, objective=args.objective, budget=budget,
+            executor=executor, kill_policy=kill_policy, surrogate=surrogate,
+            params=params,
+        )
+        result = engine.run(spec, seed=args.seed)
+        best = ("n/a" if not math.isfinite(result.best_score)
+                else f"{result.best_score:.4f}")
+        print(f"strategy={args.strategy} objective={args.objective}: "
+              f"{result.n_runs} runs ({result.n_failed} failed, "
+              f"{result.n_killed} killed), best {best}")
+        if result.n_killed:
+            print(f"kill policy ({args.kill}) saved "
+                  f"{result.kill_proxy_saved:.0f} proxy units")
+        if result.surrogate_fit is not None:
+            print(f"surrogate ({args.surrogate}) training fit: "
+                  f"{result.surrogate_fit:.3f}")
+        if result.pareto:
+            print(f"pareto front: {len(result.pareto)} non-dominated runs")
+        if result.best_result is not None:
+            top = result.best_result
+            print(f"best: target={top.options.target_clock_ghz:.2f}GHz "
+                  f"util={top.options.utilization:.2f} seed={top.seed} "
+                  f"area={top.area:.1f}um2 wns={top.wns:.1f}ps "
+                  f"{'SUCCESS' if top.success else 'FAILED'}")
+        print(f"executor: {executor.stats.summary()}")
+        _finish_metrics(executor, args)
+    return 0 if result.n_runs > 0 and result.n_failed < result.n_runs else 1
+
+
 def _cmd_metrics_summary(args) -> int:
     from repro.metrics import DataMiner, MetricsServer
 
@@ -219,6 +291,11 @@ def _cmd_metrics_summary(args) -> int:
         print(f"timing: {sta_incr:.0f} incremental updates vs {sta_full:.0f} "
               f"full propagations ({nodes:.0f} nodes re-propagated, "
               f"{saved:.0f} work units saved)")
+    kills = sum(by_metric.get("exec.killed.run", []))
+    if kills:
+        kill_saved = sum(by_metric.get("exec.killed.proxy_saved", []))
+        print(f"kills: {kills:.0f} runs terminated early by the kill policy "
+              f"({kill_saved:.0f} work units saved)")
     if args.recommend:
         try:
             rec = DataMiner(server, seed=0).recommend_options(
@@ -403,6 +480,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable the stage-prefix cache (resume flow jobs "
                               "from the deepest cached pipeline prefix)")
     explore.set_defaults(func=_cmd_explore)
+
+    dse = sub.add_parser(
+        "dse", help="declarative design-space exploration (any strategy, "
+                    "budgets, kill policies, surrogate proposals)"
+    )
+    dse.add_argument("--design", default="pulpino")
+    dse.add_argument("--strategy", default="explorer",
+                     choices=["explorer", "bandit", "sweep", "gwtw",
+                              "independent", "multistart", "random"],
+                     help="registered search strategy to run")
+    dse.add_argument("--objective", default="score",
+                     choices=["score", "area", "power", "wns",
+                              "frequency", "pareto"],
+                     help="objective the campaign optimizes")
+    dse.add_argument("--rounds", type=int, default=4,
+                     help="search rounds (explorer) / iterations (bandit)")
+    dse.add_argument("--concurrent", type=int, default=5,
+                     help="runs launched per round")
+    dse.add_argument("--limit", type=int, default=64,
+                     help="enumeration cap for the sweep strategy")
+    dse.add_argument("--budget-runs", type=int, default=None,
+                     help="stop after this many launched runs")
+    dse.add_argument("--budget-proxy", type=float, default=None,
+                     help="stop after this much executed runtime proxy")
+    dse.add_argument("--kill", default="none",
+                     choices=["none", "mdp", "hmm"],
+                     help="online doomed-run kill policy")
+    dse.add_argument("--kill-consecutive", type=int, default=3,
+                     help="consecutive STOP votes before a run is killed")
+    dse.add_argument("--surrogate", default="none",
+                     choices=["none", "forest", "gbm"],
+                     help="surrogate model proposing one candidate per round")
+    dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--workers", type=int, default=1,
+                     help="parallel flow workers (1 = serial)")
+    dse.add_argument("--cache-dir", default=None,
+                     help="directory for the on-disk result-cache tier")
+    dse.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="collect METRICS records from every run into this JSONL file")
+    dse.add_argument("--stage-cache", action="store_true",
+                     help="enable the stage-prefix cache (resume flow jobs "
+                          "from the deepest cached pipeline prefix)")
+    dse.set_defaults(func=_cmd_dse)
 
     metrics = sub.add_parser("metrics", help="inspect collected METRICS data")
     metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)

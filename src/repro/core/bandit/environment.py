@@ -9,6 +9,7 @@ arms for policy robustness sweeps and unit tests.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -26,14 +27,24 @@ class BanditEnvironment:
     def pull(self, arm: int):
         raise NotImplementedError
 
-    def pull_batch(self, arms: Sequence[int], executor=None):
+    def pull_batch(self, arms: Sequence[int], executor=None, stop_callback=None):
         """One batched iteration: outcomes for ``arms``, in order.
 
         The default loops :meth:`pull`; environments whose pulls are
         real flow runs override this to fan the batch across a
         :class:`~repro.core.parallel.FlowExecutor` (the paper's "5
         concurrent samples per iteration" as actual concurrency).
+        Passing an ``executor`` to an environment that cannot use one
+        warns instead of silently running serially; ``stop_callback``
+        (the doomed-run kill hook) is likewise only honored by flow
+        environments.
         """
+        if executor is not None:
+            warnings.warn(
+                f"{type(self).__name__} executes pulls serially; "
+                "the supplied executor is ignored",
+                RuntimeWarning, stacklevel=2,
+            )
         return [self.pull(arm) for arm in arms]
 
     def describe_arm(self, arm: int) -> str:
@@ -139,12 +150,14 @@ class FlowArmEnvironment(BanditEnvironment):
         result = self.flow.run(self.spec, options, seed=int(self.rng.integers(0, 2**31 - 1)))
         return self._score_pull(arm, result)
 
-    def pull_batch(self, arms: Sequence[int], executor=None):
+    def pull_batch(self, arms: Sequence[int], executor=None, stop_callback=None):
         """Run one license-batch of flow pulls, optionally in parallel.
 
         Seeds are drawn from the environment rng in slot order before
         any run launches, so outcomes are bit-identical to serial
-        :meth:`pull` calls regardless of worker count.
+        :meth:`pull` calls regardless of worker count.  With a
+        ``stop_callback`` (an online kill policy), doomed pulls are
+        terminated mid-route on both the serial and executor paths.
 
         Stage-cache note: because every pull gets a fresh seed (the
         bit-identity contract above), an executor's ``stage_cache=True``
@@ -154,7 +167,18 @@ class FlowArmEnvironment(BanditEnvironment):
         suffix-knob sweeps are the access pattern it accelerates.
         """
         if executor is None:
-            return [self.pull(arm) for arm in arms]
+            if stop_callback is None:
+                return [self.pull(arm) for arm in arms]
+            # same seed stream as pull(), through a killing flow
+            flow = SPRFlow(stop_callback=stop_callback)
+            outcomes = []
+            for arm in arms:
+                options = self.base_options.with_(
+                    target_clock_ghz=self.frequencies[arm])
+                result = flow.run(self.spec, options,
+                                  seed=int(self.rng.integers(0, 2**31 - 1)))
+                outcomes.append(self._score_pull(arm, result))
+            return outcomes
         from repro.core.parallel import FlowExecutionError, FlowJob
 
         jobs = [
@@ -166,7 +190,7 @@ class FlowArmEnvironment(BanditEnvironment):
             for arm in arms
         ]
         outcomes = []
-        for arm, run in zip(arms, executor.run_jobs(jobs)):
+        for arm, run in zip(arms, executor.run_jobs(jobs, stop_callback=stop_callback)):
             if isinstance(run, FlowExecutionError):
                 info = FlowPullInfo(target_ghz=self.frequencies[arm],
                                     success=False, result=None, error=str(run))

@@ -93,23 +93,17 @@ class BatchBanditScheduler:
         self.executor = executor
 
     def run(self, policy: BanditPolicy, env: BanditEnvironment) -> ScheduleResult:
-        if policy.n_arms != env.n_arms:
-            raise ValueError(
-                f"policy has {policy.n_arms} arms but environment has {env.n_arms}"
-            )
-        result = ScheduleResult(
-            n_iterations=self.n_iterations, n_concurrent=self.n_concurrent
+        """Façade over the declarative engine's ``"bandit"`` strategy
+        (:mod:`repro.dse`); pull order, policy updates and records are
+        bit-identical to the historical in-place loop."""
+        from repro.dse.engine import DSEEngine
+
+        engine = DSEEngine(
+            strategy="bandit",
+            executor=self.executor,
+            params={
+                "n_iterations": self.n_iterations,
+                "n_concurrent": self.n_concurrent,
+            },
         )
-        for it in range(self.n_iterations):
-            arms = [policy.select() for _ in range(self.n_concurrent)]
-            outcomes = env.pull_batch(arms, executor=self.executor)
-            for slot, (arm, (reward, info)) in enumerate(zip(arms, outcomes)):
-                policy.update(arm, reward)
-                success = bool(getattr(info, "success", None)
-                               if not isinstance(info, dict) else info.get("success"))
-                result.records.append(
-                    BanditRunRecord(
-                        iteration=it, slot=slot, arm=arm, reward=reward, success=success
-                    )
-                )
-        return result
+        return engine.run((policy, env), seed=None).to_schedule_result()

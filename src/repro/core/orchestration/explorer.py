@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.orchestration.tree import FlowOptionTree, default_option_tree
-from repro.core.parallel import FlowExecutionError, FlowExecutor, FlowJob
+from repro.core.parallel import FlowExecutionError, FlowExecutor
 from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
 from repro.eda.synthesis import DesignSpec
 
@@ -105,71 +105,28 @@ class TrajectoryExplorer:
         self.executor = executor
 
     def explore(self, spec: DesignSpec, seed: int = 0) -> ExplorationResult:
-        rng = np.random.default_rng(seed)
-        executor = self.executor or FlowExecutor(n_workers=1)
-        executed_before = executor.stats.runtime_proxy_executed
-        stage_hits_before = executor.stats.stage_hits
-        trajectories = [self.tree.sample(rng) for _ in range(self.n_concurrent)]
-        result = ExplorationResult(
-            best_result=None, best_score=-np.inf, n_runs=0, n_pruned=0,
-            total_runtime_proxy=0.0,
+        """Façade over the declarative engine's ``"explorer"`` strategy
+        (:mod:`repro.dse`).  rng stream, job seeds and scoring are
+        bit-identical to the historical in-place loop — the surrogate
+        proposer stays off on this path because it changes the draw
+        pattern."""
+        from repro.dse.engine import DSEEngine
+        from repro.dse.objective import resolve_objective
+        from repro.dse.space import SearchSpace
+
+        engine = DSEEngine(
+            space=SearchSpace(tree=self.tree),
+            objective=resolve_objective(self.score),
+            strategy="explorer",
+            executor=self.executor,
+            kill_policy=self.stop_callback,
+            params={
+                "n_concurrent": self.n_concurrent,
+                "n_rounds": self.n_rounds,
+                "survivor_fraction": self.survivor_fraction,
+            },
         )
-        for _ in range(self.n_rounds):
-            # seeds drawn in slot order *before* launching keeps the rng
-            # stream identical to the historical serial loop
-            seeds = [int(rng.integers(0, 2**31 - 1)) for _ in trajectories]
-            jobs = [
-                FlowJob(spec, self.tree.to_flow_options(trajectory), job_seed)
-                for trajectory, job_seed in zip(trajectories, seeds)
-            ]
-            outcomes = executor.run_jobs(jobs, stop_callback=self.stop_callback)
-            scored: List[Tuple[float, Dict, Optional[FlowResult]]] = []
-            for trajectory, run in zip(trajectories, outcomes):
-                result.n_runs += 1
-                if isinstance(run, FlowExecutionError):
-                    result.n_failed += 1
-                    result.failures.append(run)
-                    scored.append((-np.inf, trajectory, None))
-                    continue
-                result.total_runtime_proxy += run.runtime_proxy
-                if any(log.step == "droute" and log.metrics.get("success", 1) == 0
-                       and run.final_drvs > 0 for log in run.logs) and _was_pruned(run):
-                    result.n_pruned += 1
-                scored.append((self.score(run), trajectory, run))
-            scored.sort(key=lambda t: t[0], reverse=True)
-            if scored[0][0] > result.best_score:
-                result.best_score = scored[0][0]
-                result.best_result = scored[0][2]
-            result.score_trace.append(result.best_score)
-            # winners survive; losers are replaced by perturbed winners
-            n_survive = max(1, int(self.n_concurrent * self.survivor_fraction))
-            survivors = [t for _, t, _ in scored[:n_survive]]
-            trajectories = list(survivors)
-            while len(trajectories) < self.n_concurrent:
-                donor = survivors[int(rng.integers(0, len(survivors)))]
-                trajectories.append(self._perturb(donor, rng))
-        result.runtime_proxy_executed = (
-            executor.stats.runtime_proxy_executed - executed_before
-        )
-        result.stage_hits = executor.stats.stage_hits - stage_hits_before
-        return result
-
-    def _perturb(self, trajectory: Dict, rng: np.random.Generator) -> Dict:
-        """Clone a winner, re-rolling one random option."""
-        clone = dict(trajectory)
-        step = self.tree.steps[int(rng.integers(0, len(self.tree.steps)))]
-        option = list(step.options)[int(rng.integers(0, len(step.options)))]
-        values = step.options[option]
-        clone[option] = values[int(rng.integers(0, len(values)))]
-        return clone
-
-
-def _was_pruned(run: FlowResult) -> bool:
-    for log in run.logs:
-        if log.step == "droute":
-            iterations = log.metrics.get("iterations", 0)
-            return iterations < run.options.router_max_iterations and run.final_drvs > 0
-    return False
+        return engine.run(spec, seed=seed).to_exploration_result()
 
 
 class FlowRepairAgent:

@@ -113,6 +113,8 @@ class ExecutorStats:
     stage_misses: int = 0
     stage_hits_by_stage: Dict[str, int] = field(default_factory=dict)
     stage_misses_by_stage: Dict[str, int] = field(default_factory=dict)
+    kills: int = 0
+    kill_proxy_saved: float = 0.0
 
     @property
     def cache_hits(self) -> int:
@@ -139,6 +141,11 @@ class ExecutorStats:
                 f" stage_hits={self.stage_hits} stage_misses={self.stage_misses} "
                 f"work_executed={self.runtime_proxy_executed:.0f} units"
             )
+        if self.kills:
+            line += (
+                f" kills={self.kills} "
+                f"kill_saved={self.kill_proxy_saved:.0f} units"
+            )
         return line
 
 
@@ -151,6 +158,26 @@ def _worker_init(stage_cache_entries: Optional[int] = None) -> None:
     _default_library()
     if stage_cache_entries is not None:
         configure_stage_cache(stage_cache_entries)
+
+
+def _kill_proxy_saved(result: FlowResult) -> Optional[float]:
+    """Router proxy a stopped-early run avoided, or None if it ran out.
+
+    The router only exits before ``router_max_iterations`` when the
+    stop callback fired or the design routed clean (``drvs == 0``), so
+    *dirty and short of the cap* identifies a killed run without any
+    change to the step-log format.
+    """
+    from repro.eda.stages.droute import DROUTE_ITERATION_PROXY
+
+    for log in result.logs:
+        if log.step == "droute":
+            iterations = int(log.metrics.get("iterations", 0))
+            cap = result.options.router_max_iterations
+            if result.final_drvs > 0 and iterations < cap:
+                return (cap - iterations) * DROUTE_ITERATION_PROXY
+            return None
+    return None
 
 
 def run_flow_job(design: Design, options: FlowOptions, seed: int,
@@ -368,6 +395,8 @@ class FlowExecutor:
         job_attempts: List[int] = [0] * len(jobs)
         stage_reports: List[Optional[StageReport]] = [None] * len(jobs)
         executed_work: List[float] = [0.0] * len(jobs)
+        killed: List[bool] = [False] * len(jobs)
+        kill_saved: List[float] = [0.0] * len(jobs)
         # only the default job function is stage-aware; an injected
         # flow_fn (test stand-ins) keeps its exact call contract
         staged = self.stage_cache and self.flow_fn is run_flow_job
@@ -424,6 +453,13 @@ class FlowExecutor:
                 report = stage_reports[i]
                 executed_work[i] = (report.executed_proxy if report is not None
                                     else outcome.runtime_proxy)
+                if stop_callback is not None:
+                    saved = _kill_proxy_saved(outcome)
+                    if saved is not None:
+                        killed[i] = True
+                        kill_saved[i] = saved
+                        self.stats.kills += 1
+                        self.stats.kill_proxy_saved += saved
                 if self.cache is not None:
                     self.cache.put(keys[i], outcome)
             for j in followers.get(i, ()):
@@ -447,7 +483,8 @@ class FlowExecutor:
         self.stats.wall_time_s += wall
         if run_ids is not None:
             self._report_batch(jobs, run_ids, results, hit_tier, deduped,
-                               job_attempts, wall, stage_reports, executed_work)
+                               job_attempts, wall, stage_reports, executed_work,
+                               killed, kill_saved)
         return results  # type: ignore[return-value]
 
     def run_one(
@@ -486,7 +523,7 @@ class FlowExecutor:
 
     def _report_batch(self, jobs, run_ids, results, hit_tier, deduped,
                       job_attempts, wall: float, stage_reports=None,
-                      executed_work=None) -> None:
+                      executed_work=None, killed=None, kill_saved=None) -> None:
         """Emit per-job executor-event records, and re-report cache-served
         results whose step metrics may predate this server (disk tier)."""
         from repro.metrics.collector import QueueTransmitter
@@ -496,6 +533,10 @@ class FlowExecutor:
             stage_reports = [None] * len(jobs)
         if executed_work is None:
             executed_work = [0.0] * len(jobs)
+        if killed is None:
+            killed = [False] * len(jobs)
+        if kill_saved is None:
+            kill_saved = [0.0] * len(jobs)
         for i, job in enumerate(jobs):
             outcome = results[i]
             failed = isinstance(outcome, FlowExecutionError)
@@ -527,6 +568,8 @@ class FlowExecutor:
                         float(report.sta_nodes if report is not None else 0))
                 tx.send("sta.incremental.proxy_saved",
                         float(report.sta_proxy_saved if report is not None else 0.0))
+                tx.send("exec.killed.run", float(killed[i]))
+                tx.send("exec.killed.proxy_saved", float(kill_saved[i]))
             if hit_tier[i] is not None and not failed:
                 with QueueTransmitter(self.collector.queue, design_name,
                                       run_ids[i], tool="spr_flow") as tx:

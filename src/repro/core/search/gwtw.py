@@ -6,6 +6,12 @@ multiple optimization threads, and periodically identifies and clones
 the most promising thread while terminating other threads").  The
 control is :func:`independent_multistart` at the same total move
 budget.
+
+The annealing loops themselves now live in
+:mod:`repro.dse.strategies.landscape` (strategies ``"gwtw"`` and
+``"independent"``); the entrypoints here are bit-identical façades
+over the declarative engine, kept for the historical call signatures
+and the :class:`GWTWResult` dataclass.
 """
 
 from __future__ import annotations
@@ -19,13 +25,6 @@ from repro.core.search.landscape import BisectionProblem
 
 
 @dataclass
-class _Thread:
-    assign: np.ndarray
-    cost: float
-    temperature: float
-
-
-@dataclass
 class GWTWResult:
     """Outcome of a parallel search run."""
 
@@ -34,27 +33,6 @@ class GWTWResult:
     cost_trace: List[float] = field(default_factory=list)  # best-so-far per stage
     total_moves: int = 0
     method: str = "gwtw"
-
-
-def _anneal_steps(
-    problem: BisectionProblem,
-    thread: _Thread,
-    n_steps: int,
-    rng: np.random.Generator,
-    cooling: float,
-) -> None:
-    """Metropolis single-flip annealing, in place."""
-    for _ in range(n_steps):
-        node = int(rng.integers(0, problem.n_nodes))
-        trial = thread.assign.copy()
-        trial[node] = ~trial[node]
-        if not problem.is_balanced(trial):
-            continue
-        delta = -problem.gain(thread.assign, node)  # cost change
-        if delta <= 0 or rng.random() < np.exp(-delta / max(1e-9, thread.temperature)):
-            thread.assign = trial
-            thread.cost += delta
-        thread.temperature *= cooling
 
 
 def go_with_the_winners(
@@ -67,39 +45,19 @@ def go_with_the_winners(
     seed: Optional[int] = None,
 ) -> GWTWResult:
     """GWTW annealing on a bisection landscape."""
-    if n_threads < 2:
-        raise ValueError("GWTW needs at least 2 threads")
-    if not 0.0 < survivor_fraction < 1.0:
-        raise ValueError("survivor_fraction must be in (0, 1)")
-    rng = np.random.default_rng(seed)
-    cooling = (0.02 / t_start) ** (1.0 / max(1, n_stages * steps_per_stage))
-    threads = []
-    for _ in range(n_threads):
-        assign = problem.random_solution(rng)
-        threads.append(_Thread(assign, problem.cost(assign), t_start))
+    from repro.dse.engine import DSEEngine
 
-    result = GWTWResult(best_cost=np.inf, best_assign=threads[0].assign, method="gwtw")
-    for _ in range(n_stages):
-        for thread in threads:
-            _anneal_steps(problem, thread, steps_per_stage, rng, cooling)
-            result.total_moves += steps_per_stage
-        threads.sort(key=lambda t: t.cost)
-        if threads[0].cost < result.best_cost:
-            result.best_cost = threads[0].cost
-            result.best_assign = threads[0].assign.copy()
-        result.cost_trace.append(result.best_cost)
-        # clone winners over losers
-        n_survive = max(1, int(n_threads * survivor_fraction))
-        for i in range(n_survive, n_threads):
-            donor = threads[i % n_survive]
-            threads[i] = _Thread(donor.assign.copy(), donor.cost, donor.temperature)
-    # final polish of the champion
-    polished = problem.local_search(result.best_assign, rng)
-    cost = problem.cost(polished)
-    if cost < result.best_cost:
-        result.best_cost = cost
-        result.best_assign = polished
-    return result
+    engine = DSEEngine(
+        strategy="gwtw",
+        params={
+            "n_threads": n_threads,
+            "n_stages": n_stages,
+            "steps_per_stage": steps_per_stage,
+            "survivor_fraction": survivor_fraction,
+            "t_start": t_start,
+        },
+    )
+    return engine.run(problem, seed=seed).to_gwtw_result()
 
 
 def independent_multistart(
@@ -111,27 +69,15 @@ def independent_multistart(
     seed: Optional[int] = None,
 ) -> GWTWResult:
     """Same budget, no cloning: the baseline GWTW is measured against."""
-    rng = np.random.default_rng(seed)
-    cooling = (0.02 / t_start) ** (1.0 / max(1, n_stages * steps_per_stage))
-    threads = []
-    for _ in range(n_threads):
-        assign = problem.random_solution(rng)
-        threads.append(_Thread(assign, problem.cost(assign), t_start))
-    result = GWTWResult(
-        best_cost=np.inf, best_assign=threads[0].assign, method="multistart"
+    from repro.dse.engine import DSEEngine
+
+    engine = DSEEngine(
+        strategy="independent",
+        params={
+            "n_threads": n_threads,
+            "n_stages": n_stages,
+            "steps_per_stage": steps_per_stage,
+            "t_start": t_start,
+        },
     )
-    for _ in range(n_stages):
-        for thread in threads:
-            _anneal_steps(problem, thread, steps_per_stage, rng, cooling)
-            result.total_moves += steps_per_stage
-        best = min(threads, key=lambda t: t.cost)
-        if best.cost < result.best_cost:
-            result.best_cost = best.cost
-            result.best_assign = best.assign.copy()
-        result.cost_trace.append(result.best_cost)
-    polished = problem.local_search(result.best_assign, rng)
-    cost = problem.cost(polished)
-    if cost < result.best_cost:
-        result.best_cost = cost
-        result.best_assign = polished
-    return result
+    return engine.run(problem, seed=seed).to_gwtw_result()

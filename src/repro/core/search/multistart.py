@@ -7,6 +7,12 @@ keep an elite pool of minima, and construct new starts by *consensus* —
 nodes on which the elite agree keep their side, contested nodes are
 randomized — then locally optimize those starts.  The big-valley
 structure makes consensus starts land near the valley floor.
+
+The search loops themselves now live in
+:mod:`repro.dse.strategies.landscape` (strategies ``"multistart"`` and
+``"random"``); the entrypoints here are bit-identical façades over the
+declarative engine, kept for the historical call signatures and the
+:class:`MultistartResult` dataclass.
 """
 
 from __future__ import annotations
@@ -21,8 +27,11 @@ from repro.core.search.landscape import BisectionProblem
 
 def _local_search_job(problem: BisectionProblem, start: np.ndarray, seed: int) -> np.ndarray:
     """One local search under its own child rng (module-level so a
-    process-pool executor can pickle it)."""
-    return problem.local_search(start, np.random.default_rng(seed))
+    process-pool executor can pickle it).  Re-exported from the
+    strategy module for pickling back-compat."""
+    from repro.dse.strategies.landscape import _local_search_job as job
+
+    return job(problem, start, seed)
 
 
 @dataclass
@@ -69,89 +78,19 @@ class AdaptiveMultistart:
         search).  Local searches go through ``executor.map`` — generic
         tasks with no content key — so neither the result cache nor the
         stage-prefix cache applies to them."""
-        rng = np.random.default_rng(seed)
-        pool: List[np.ndarray] = []
-        costs: List[float] = []
+        from repro.dse.engine import DSEEngine
 
-        def add(minimum: np.ndarray) -> None:
-            pool.append(minimum)
-            costs.append(problem.cost(minimum))
-
-        def run_batch(starts: List[np.ndarray]) -> None:
-            tasks = [(problem, start, int(rng.integers(0, 2**31 - 1)))
-                     for start in starts]
-            for minimum in executor.map(_local_search_job, tasks):
-                if isinstance(minimum, np.ndarray):
-                    add(minimum)
-
-        if executor is None:
-            for _ in range(self.n_initial):
-                add(problem.local_search(problem.random_solution(rng), rng))
-        else:
-            run_batch([problem.random_solution(rng) for _ in range(self.n_initial)])
-        n_searches = self.n_initial
-
-        for _ in range(self.n_adaptive_rounds):
-            elite_idx = np.argsort(costs)[: self.elite_size]
-            elite = [pool[i] for i in elite_idx]
-            if executor is None:
-                for _ in range(self.starts_per_round):
-                    add(problem.local_search(
-                        self._consensus_start(problem, elite, rng), rng))
-            else:
-                run_batch([self._consensus_start(problem, elite, rng)
-                           for _ in range(self.starts_per_round)])
-            n_searches += self.starts_per_round
-
-        if not costs:
-            raise RuntimeError("every local search failed to execute")
-        best_idx = int(np.argmin(costs))
-        return MultistartResult(
-            best_cost=costs[best_idx],
-            best_assign=pool[best_idx],
-            all_costs=costs,
-            n_local_searches=n_searches,
-            method="adaptive",
+        engine = DSEEngine(
+            strategy="multistart",
+            executor=executor,
+            params={
+                "n_initial": self.n_initial,
+                "n_adaptive_rounds": self.n_adaptive_rounds,
+                "starts_per_round": self.starts_per_round,
+                "elite_size": self.elite_size,
+            },
         )
-
-    def _consensus_start(
-        self,
-        problem: BisectionProblem,
-        elite: List[np.ndarray],
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Agreeing nodes keep their side; contested nodes randomize."""
-        # align all elite to the first (bisection has label symmetry)
-        reference = elite[0]
-        aligned = [reference]
-        for sol in elite[1:]:
-            flipped = ~sol
-            if np.sum(sol != reference) <= np.sum(flipped != reference):
-                aligned.append(sol)
-            else:
-                aligned.append(flipped)
-        votes = np.mean(np.stack(aligned), axis=0)
-        start = np.where(
-            votes > 0.5 + 1e-9,
-            True,
-            np.where(votes < 0.5 - 1e-9, False, rng.random(problem.n_nodes) < 0.5),
-        )
-        start = self._rebalance(problem, start.astype(bool), rng)
-        return start
-
-    @staticmethod
-    def _rebalance(
-        problem: BisectionProblem, assign: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Flip random nodes of the larger side until balanced."""
-        assign = assign.copy()
-        half = problem.n_nodes // 2
-        while not problem.is_balanced(assign):
-            ones = int(np.sum(assign))
-            side = ones > half
-            candidates = np.nonzero(assign == side)[0]
-            assign[rng.choice(candidates)] = not side
-        return assign
+        return engine.run(problem, seed=seed).to_multistart_result()
 
 
 def random_multistart(
@@ -165,27 +104,11 @@ def random_multistart(
     With an ``executor``, the whole batch of local searches fans across
     its workers under pre-drawn child seeds (deterministic at any
     worker count)."""
-    if n_starts < 1:
-        raise ValueError("need at least 1 start")
-    rng = np.random.default_rng(seed)
-    if executor is None:
-        pool = [problem.local_search(problem.random_solution(rng), rng)
-                for _ in range(n_starts)]
-    else:
-        tasks = []
-        for _ in range(n_starts):
-            start = problem.random_solution(rng)
-            tasks.append((problem, start, int(rng.integers(0, 2**31 - 1))))
-        pool = [m for m in executor.map(_local_search_job, tasks)
-                if isinstance(m, np.ndarray)]
-        if not pool:
-            raise RuntimeError("every local search failed to execute")
-    costs = [problem.cost(m) for m in pool]
-    best_idx = int(np.argmin(costs))
-    return MultistartResult(
-        best_cost=costs[best_idx],
-        best_assign=pool[best_idx],
-        all_costs=costs,
-        n_local_searches=n_starts,
-        method="random",
+    from repro.dse.engine import DSEEngine
+
+    engine = DSEEngine(
+        strategy="random",
+        executor=executor,
+        params={"n_starts": n_starts},
     )
+    return engine.run(problem, seed=seed).to_multistart_result()

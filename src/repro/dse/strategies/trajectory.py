@@ -1,0 +1,119 @@
+"""The "explorer" strategy: GWTW over whole flow trajectories.
+
+This is the historical :class:`TrajectoryExplorer.explore` loop,
+re-homed as an engine plugin.  With the surrogate disabled (the façade
+path) its rng stream, job seeds and bookkeeping are bit-identical to
+the pre-refactor implementation: trajectories sample in slot order,
+per-round run seeds are pre-drawn before any launch, and each refill
+perturbation costs exactly three rng draws.  A surrogate changes the
+draw pattern (several candidate perturbations per refill slot), which
+is why only explicit engine campaigns enable it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.parallel import FlowExecutionError, FlowJob
+from repro.dse.registry import Strategy, register_strategy
+from repro.dse.result import DSEResult
+from repro.eda.flow import FlowResult
+
+
+def _was_pruned(run: FlowResult) -> bool:
+    for log in run.logs:
+        if log.step == "droute":
+            iterations = log.metrics.get("iterations", 0)
+            return iterations < run.options.router_max_iterations and run.final_drvs > 0
+    return False
+
+
+@register_strategy
+class TrajectoryStrategy(Strategy):
+    """Clone-the-winners search over the flow-option tree.
+
+    Params: ``n_concurrent`` (licenses per round, >= 2), ``n_rounds``,
+    ``survivor_fraction`` in (0, 1).
+    """
+
+    name = "explorer"
+
+    def run(self, task, ctx) -> DSEResult:
+        n_concurrent = int(ctx.params.get("n_concurrent", 5))
+        n_rounds = int(ctx.params.get("n_rounds", 6))
+        survivor_fraction = float(ctx.params.get("survivor_fraction", 0.4))
+        if n_concurrent < 2:
+            raise ValueError("need at least 2 concurrent runs to clone winners")
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if not 0.0 < survivor_fraction < 1.0:
+            raise ValueError("survivor_fraction must be in (0, 1)")
+        space, objective = ctx.space, ctx.objective
+        rng = np.random.default_rng(ctx.seed)
+        executor = ctx.get_executor()
+        executed_before = executor.stats.runtime_proxy_executed
+        stage_hits_before = executor.stats.stage_hits
+        trajectories = [space.sample(rng) for _ in range(n_concurrent)]
+        result = DSEResult(method=self.name, objective=objective.name,
+                           best_score=-np.inf)
+        best_key = -np.inf
+        front: List[FlowResult] = []
+        for _ in range(n_rounds):
+            if ctx.tracker.exhausted:
+                break
+            # seeds drawn in slot order *before* launching keeps the rng
+            # stream identical to the historical serial loop
+            seeds = [int(rng.integers(0, 2**31 - 1)) for _ in trajectories]
+            jobs = [
+                FlowJob(task, space.to_flow_options(trajectory), job_seed)
+                for trajectory, job_seed in zip(trajectories, seeds)
+            ]
+            outcomes = executor.run_jobs(jobs, stop_callback=ctx.stop_callback)
+            scored: List[Tuple[float, Dict, Optional[FlowResult]]] = []
+            for trajectory, run in zip(trajectories, outcomes):
+                result.n_runs += 1
+                ctx.tracker.charge_runs(1)
+                if isinstance(run, FlowExecutionError):
+                    result.n_failed += 1
+                    result.failures.append(run)
+                    scored.append((-np.inf, trajectory, None))
+                    continue
+                result.total_runtime_proxy += run.runtime_proxy
+                ctx.tracker.charge_proxy(run.runtime_proxy)
+                if any(log.step == "droute" and log.metrics.get("success", 1) == 0
+                       and run.final_drvs > 0 for log in run.logs) and _was_pruned(run):
+                    result.n_pruned += 1
+                key = objective.key(run)
+                scored.append((key, trajectory, run))
+                front = objective.update_front(front, run)
+                if ctx.surrogate is not None:
+                    ctx.surrogate.observe(
+                        ctx.surrogate.point_features(space, trajectory), key)
+            scored.sort(key=lambda t: t[0], reverse=True)
+            if scored[0][0] > best_key:
+                best_key = scored[0][0]
+                result.best_result = scored[0][2]
+                result.best_score = (objective.value(scored[0][2])
+                                     if scored[0][2] is not None else scored[0][0])
+            result.trace.append(result.best_score)
+            if ctx.surrogate is not None:
+                ctx.surrogate.maybe_fit(server=ctx.server,
+                                        objective_name=objective.name)
+            # winners survive; losers are replaced by perturbed winners
+            n_survive = max(1, int(n_concurrent * survivor_fraction))
+            survivors = [t for _, t, _ in scored[:n_survive]]
+            trajectories = list(survivors)
+            while len(trajectories) < n_concurrent:
+                donor = survivors[int(rng.integers(0, len(survivors)))]
+                if ctx.surrogate is not None and ctx.surrogate.ready:
+                    trajectories.append(ctx.surrogate.propose(space, donor, rng))
+                else:
+                    trajectories.append(space.perturb(donor, rng))
+        result.runtime_proxy_executed = (
+            executor.stats.runtime_proxy_executed - executed_before
+        )
+        result.stage_hits = executor.stats.stage_hits - stage_hits_before
+        result.pareto = front
+        return result

@@ -19,6 +19,11 @@ from repro.eda.sta import SignoffSTA, StaStats
 from repro.eda.stages.base import FlowStage, PipelineState
 
 
+#: simulated tool cost of one rip-up-and-reroute iteration — the unit
+#: the executor's kill accounting converts skipped iterations into
+DROUTE_ITERATION_PROXY = 120.0
+
+
 class DrouteSignoffStage(FlowStage):
     name = "droute_signoff"
     knobs = ("target_clock_ghz", "router_effort", "router_max_iterations")
@@ -47,7 +52,7 @@ class DrouteSignoffStage(FlowStage):
                                "iterations": droute.iterations_run,
                                "success": float(droute.success)},
                     series={"drvs": [float(v) for v in droute.drvs_per_iteration]},
-                    runtime_proxy=droute.iterations_run * 120.0)
+                    runtime_proxy=droute.iterations_run * DROUTE_ITERATION_PROXY)
         )
 
         # a fresh full propagation (signoff must see the whole design),

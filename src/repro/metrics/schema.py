@@ -76,6 +76,21 @@ VOCABULARY: Dict[str, tuple] = {
     "sta.incremental.updates": ("count", "incremental dirty-cone timing updates"),
     "sta.incremental.nodes": ("count", "graph nodes re-propagated by incremental updates"),
     "sta.incremental.proxy_saved": ("work", "timing proxy avoided vs. full re-analysis per query"),
+    # online-kill events: with a kill policy wired into the executor's
+    # stop-callback path, each job reports whether it was terminated
+    # mid-route and the router proxy that termination avoided
+    "exec.killed.run": ("bool", "job terminated early by the online kill policy"),
+    "exec.killed.proxy_saved": ("work", "router proxy avoided by killing the job"),
+    # campaign summaries: the DSE engine reports each campaign's
+    # headline numbers under one dse-<strategy>-<seed> run id
+    "dse.runs": ("count", "runs launched by the campaign"),
+    "dse.failed": ("count", "campaign runs that produced no result"),
+    "dse.pruned": ("count", "campaign runs detected as pruned mid-route"),
+    "dse.killed": ("count", "campaign runs terminated by the kill policy"),
+    "dse.kill_proxy_saved": ("work", "router proxy the kill policy avoided"),
+    "dse.runtime_proxy": ("work", "summed tool cost of the campaign's delivered results"),
+    "dse.best_score": ("objective", "best objective value the campaign found"),
+    "dse.surrogate_fit": ("ratio", "training fit of the campaign's last surrogate refit"),
 }
 
 #: the executor-event subset of the vocabulary, emitted per job by an
@@ -97,6 +112,21 @@ EXECUTOR_EVENT_METRICS = (
     "sta.incremental.updates",
     "sta.incremental.nodes",
     "sta.incremental.proxy_saved",
+    "exec.killed.run",
+    "exec.killed.proxy_saved",
+)
+
+#: the campaign-summary subset of the vocabulary, emitted once per
+#: campaign by the DSE engine (:mod:`repro.dse.engine`)
+DSE_CAMPAIGN_METRICS = (
+    "dse.runs",
+    "dse.failed",
+    "dse.pruned",
+    "dse.killed",
+    "dse.kill_proxy_saved",
+    "dse.runtime_proxy",
+    "dse.best_score",
+    "dse.surrogate_fit",
 )
 
 # one or more dot-separated lowercase segments after the first —

@@ -24,7 +24,11 @@ from typing import Optional, Union
 from repro.eda.flow import FlowOptions, FlowResult, SPRFlow
 from repro.eda.netlist import Netlist
 from repro.eda.synthesis import DesignSpec
-from repro.metrics.schema import EXECUTOR_EVENT_METRICS, VOCABULARY
+from repro.metrics.schema import (
+    DSE_CAMPAIGN_METRICS,
+    EXECUTOR_EVENT_METRICS,
+    VOCABULARY,
+)
 from repro.metrics.server import MetricsServer
 from repro.metrics.transmitter import Transmitter
 
@@ -158,4 +162,5 @@ def coverage() -> float:
         "flow.success", "flow.target_ghz",
     }
     produced |= set(EXECUTOR_EVENT_METRICS)
+    produced |= set(DSE_CAMPAIGN_METRICS)
     return len(produced & set(VOCABULARY)) / len(VOCABULARY)

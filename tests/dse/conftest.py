@@ -1,0 +1,46 @@
+"""Fixtures for the declarative-DSE suite.
+
+The kill-policy tests need runs the router actually dooms; the tiny
+session spec routes too easily, so those use the MCU (PULPino) profile
+with deliberately doomed sweep points (max utilization, the long
+router-iteration cap).  Policies are trained once per session — the
+artificial corpus and policy iteration dominate the fixture cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import design_profile
+from repro.dse import train_kill_policy
+
+
+@pytest.fixture(scope="session")
+def mcu_spec():
+    return design_profile("MCU")
+
+
+@pytest.fixture(scope="session")
+def mdp_policy():
+    return train_kill_policy("mdp", seed=0)
+
+
+#: two doomed points (max utilization, high target, long router leash)
+#: and two healthy ones — a sweep over these exercises both outcomes
+DOOMED_SWEEP_POINTS = [
+    {"target_clock_ghz": tgt, "synth_effort": 0.2, "utilization": util,
+     "aspect_ratio": 1.0, "placer_moves_per_cell": 40,
+     "spread_strength": 0.6, "cts_effort": 0.5, "router_effort": effort,
+     "router_max_iterations": cap, "opt_passes": 8, "opt_guardband": 0.0}
+    for tgt, util, effort, cap in [
+        (0.75, 0.85, 0.4, 40),
+        (0.8, 0.85, 0.4, 40),
+        (0.5, 0.65, 0.8, 20),
+        (0.6, 0.65, 0.8, 20),
+    ]
+]
+
+
+@pytest.fixture()
+def doomed_points():
+    return [dict(p) for p in DOOMED_SWEEP_POINTS]

@@ -1,0 +1,92 @@
+"""Objectives: ranking keys, success gating, Pareto fronts."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.orchestration.explorer import default_score
+from repro.dse import OBJECTIVES, Objective, ParetoObjective
+from repro.dse.objective import resolve_objective
+from repro.eda.flow import FlowOptions, SPRFlow
+
+
+@pytest.fixture(scope="module")
+def good_result(small_spec):
+    result = SPRFlow().run(small_spec, FlowOptions(target_clock_ghz=0.6),
+                           seed=5)
+    assert result.success
+    return result
+
+
+@pytest.fixture(scope="module")
+def failed_result(good_result):
+    return dataclasses.replace(good_result, routed=False, timing_met=False)
+
+
+def test_score_objective_matches_historical_explorer(good_result):
+    objective = OBJECTIVES["score"]()
+    assert objective.value(good_result) == default_score(good_result)
+    assert objective.key(good_result) == default_score(good_result)
+
+
+def test_min_direction_negates_key_only(good_result):
+    area = OBJECTIVES["area"]()
+    assert area.value(good_result) == good_result.area  # natural units
+    assert area.key(good_result) == -good_result.area   # higher-is-better
+
+
+def test_requires_success_ranks_failures_last(good_result, failed_result):
+    area = OBJECTIVES["area"]()
+    assert area.key(failed_result) == -math.inf
+    assert area.key(good_result) > area.key(failed_result)
+    # score ranks failures too (the explorer's progress signal)
+    score = OBJECTIVES["score"]()
+    assert math.isfinite(score.key(failed_result))
+
+
+def test_objective_validates_direction():
+    with pytest.raises(ValueError):
+        Objective("bad", lambda r: 0.0, direction="sideways")
+
+
+def test_pareto_validation():
+    area = OBJECTIVES["area"]()
+    wns = OBJECTIVES["wns"]()
+    with pytest.raises(ValueError, match="at least 2 axes"):
+        ParetoObjective(objectives=(area,))
+    with pytest.raises(ValueError, match="one weight per"):
+        ParetoObjective(objectives=(area, wns), weights=(1.0,))
+    with pytest.raises(ValueError, match="positive"):
+        ParetoObjective(objectives=(area, wns), weights=(1.0, -1.0))
+
+
+def test_pareto_front_keeps_non_dominated(good_result, failed_result):
+    pareto = OBJECTIVES["pareto"]()
+    small_slow = dataclasses.replace(good_result, area=100.0, wns=10.0,
+                                     power=50.0)
+    big_fast = dataclasses.replace(good_result, area=200.0, wns=500.0,
+                                   power=50.0)
+    dominated = dataclasses.replace(good_result, area=250.0, wns=5.0,
+                                    power=60.0)
+    front = []
+    for result in (small_slow, big_fast, dominated, failed_result):
+        front = pareto.update_front(front, result)
+    assert small_slow in front and big_fast in front
+    assert dominated not in front      # worse on every axis than big_fast
+    assert failed_result not in front  # success-gated
+    assert pareto.key(failed_result) == -math.inf
+    assert math.isfinite(pareto.key(small_slow))
+
+
+def test_resolve_objective_forms():
+    assert resolve_objective("area").name == "area"
+    assert resolve_objective(default_score).name == "score"
+    custom = resolve_objective(lambda r: r.area)
+    assert custom.name == "custom" and custom.direction == "max"
+    instance = OBJECTIVES["wns"]()
+    assert resolve_objective(instance) is instance
+    with pytest.raises(ValueError, match="unknown objective"):
+        resolve_objective("beauty")
+    with pytest.raises(TypeError):
+        resolve_objective(42)

@@ -1,0 +1,86 @@
+"""SearchSpace: sampling contracts, design knobs, feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.orchestration.tree import default_option_tree
+from repro.dse import SearchSpace, default_flow_space
+from repro.eda.flow import FlowOptions
+
+
+def test_sample_is_seed_deterministic():
+    space = default_flow_space()
+    a = space.sample(np.random.default_rng(3))
+    b = space.sample(np.random.default_rng(3))
+    assert a == b
+    assert set(a) == {name for _, name in space.tree.option_names()}
+
+
+def test_sample_matches_bare_tree_stream():
+    """Without design knobs the space consumes exactly the tree's rng
+    stream — the explorer bit-identity contract."""
+    space = default_flow_space()
+    assert space.sample(np.random.default_rng(9)) == \
+        default_option_tree().sample(np.random.default_rng(9))
+
+
+def test_design_knobs_ride_along_and_strip():
+    space = SearchSpace(design_knobs={"n_gates": [100, 200, 400]})
+    point = space.sample(np.random.default_rng(0))
+    assert point["n_gates"] in (100, 200, 400)
+    options = space.to_flow_options(point)
+    assert isinstance(options, FlowOptions)
+    assert not hasattr(options, "n_gates")
+    assert space.design_part(point) == {"n_gates": point["n_gates"]}
+
+
+def test_design_knob_validation():
+    with pytest.raises(ValueError, match="no values"):
+        SearchSpace(design_knobs={"n_gates": []})
+    with pytest.raises(ValueError, match="shadows"):
+        SearchSpace(design_knobs={"utilization": [0.5]})
+
+
+def test_perturb_changes_at_most_one_flow_option():
+    space = SearchSpace(design_knobs={"n_gates": [100, 200]})
+    rng = np.random.default_rng(4)
+    point = space.sample(rng)
+    for _ in range(20):
+        clone = space.perturb(point, rng)
+        changed = [k for k in point if clone[k] != point[k]]
+        assert len(changed) <= 1
+        assert clone["n_gates"] == point["n_gates"]  # knobs never re-roll
+
+
+def test_n_points_and_enumerate():
+    space = SearchSpace(design_knobs={"n_gates": [100, 200]})
+    assert space.n_points == space.tree.n_trajectories * 2
+    points = list(space.enumerate(limit=10))
+    assert len(points) == 10
+    for point in points:
+        space.to_flow_options(point)  # every enumerated point materializes
+
+
+def test_features_align_with_names():
+    space = SearchSpace(design_knobs={"flavor": ["a", "b", "c"]})
+    names = space.feature_names()
+    point = space.sample(np.random.default_rng(7))
+    point["flavor"] = "c"
+    row = space.features(point)
+    assert len(row) == len(names)
+    assert row[names.index("flavor")] == 2.0  # menu index for non-numerics
+    assert row[names.index("utilization")] == point["utilization"]
+    # a missing knob contributes 0.0 rather than crashing the surrogate
+    del point["flavor"]
+    assert space.features(point)[names.index("flavor")] == 0.0
+
+
+def test_default_flow_space_custom_frequencies():
+    space = default_flow_space(target_frequencies=(0.4, 0.9))
+    menus = [
+        list(values)
+        for step in space.tree.steps
+        for name, values in step.options.items()
+        if name == "target_clock_ghz"
+    ]
+    assert menus == [[0.4, 0.9]]
