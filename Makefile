@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint lint-perf smoke metrics-smoke stage-smoke sta-smoke dse-smoke bench-trajectory bench
+.PHONY: test lint lint-perf smoke metrics-smoke warehouse-smoke stage-smoke sta-smoke dse-smoke bench-trajectory bench
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -46,6 +46,25 @@ metrics-smoke:
 		--in .metrics-smoke.jsonl --design phy
 	rm -f .metrics-smoke.jsonl
 
+# Warehouse smoke: two small campaigns land in one sqlite warehouse
+# under distinct campaign ids, then the cross-campaign read path is
+# exercised end to end (summary, per-campaign query, retention).
+warehouse-smoke:
+	rm -f .warehouse-smoke.sqlite
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) -m repro.cli explore \
+		--design PHY --rounds 2 --concurrent 3 --workers 2 --seed 1 \
+		--metrics-db .warehouse-smoke.sqlite --campaign smoke-a
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) -m repro.cli explore \
+		--design PHY --rounds 2 --concurrent 3 --workers 2 --seed 2 \
+		--metrics-db .warehouse-smoke.sqlite --campaign smoke-b
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli metrics summary \
+		--in .warehouse-smoke.sqlite --design phy
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli metrics query \
+		--in .warehouse-smoke.sqlite --campaign smoke-b
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli metrics compact \
+		--db .warehouse-smoke.sqlite --keep-last 1
+	rm -f .warehouse-smoke.sqlite
+
 # Stage-prefix cache smoke: a small 2-worker router-knob sweep at a
 # fixed (design, seed).  Asserts bit-identical results with the cache
 # on and off and at least one prefix hit (more jobs than workers, so a
@@ -86,7 +105,8 @@ dse-smoke:
 # baselines.  Thresholds are ratios measured within one run, so they
 # carry across machines.
 bench-trajectory:
-	rm -f BENCH_sta.json BENCH_place_route.json BENCH_lint.json BENCH_dse.json
+	rm -f BENCH_sta.json BENCH_place_route.json BENCH_lint.json \
+		BENCH_dse.json BENCH_metrics.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
 		benchmarks/vectorized_sta_benchmark.py --smoke --json BENCH_sta.json
 	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
@@ -106,6 +126,11 @@ bench-trajectory:
 		benchmarks/dse_kill_benchmark.py --smoke --json BENCH_dse.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_dse.json \
 		benchmarks/BENCH_dse_baseline.json
+	PYTHONPATH=$(PYTHONPATH) timeout 240 $(PYTHON) \
+		benchmarks/metrics_warehouse_benchmark.py --smoke \
+		--json BENCH_metrics.json
+	$(PYTHON) benchmarks/check_bench_regression.py BENCH_metrics.json \
+		benchmarks/BENCH_metrics_baseline.json
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -43,6 +43,7 @@ WALL_FLOORS = {
     "annealer": 5.0,
     "groute": 3.0,
     "lint": 5.0,
+    "metrics": 3.0,
 }
 
 # runtime-proxy sections: name -> absolute work_ratio floor.  These are

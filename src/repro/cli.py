@@ -13,7 +13,12 @@ Python:
   under a budget, with optional online doomed-run killing and a
   surrogate proposer (see ``docs/dse.md``);
 - ``repro cost`` — ITRS design-cost projections;
-- ``repro metrics summary`` — inspect a collected METRICS JSONL file;
+- ``repro metrics summary|query`` — inspect a collected METRICS store
+  (JSONL file or sqlite warehouse, format sniffed);
+- ``repro metrics ingest|migrate|compact`` — maintain a sqlite metrics
+  warehouse: append JSONL campaigns under a campaign id, convert
+  existing JSONL files with zero-loss verification, and apply a
+  keep-last-N-campaigns retention policy;
 - ``repro lint`` — determinism & parallel-safety static analysis
   (``--strict`` in CI; see ``docs/static-analysis.md``).
 
@@ -23,6 +28,9 @@ execution), ``--cache-dir`` (persistent result cache), and
 run's step metrics plus per-job executor events land in a JSONL file
 that ``repro metrics summary`` and the data miner consume); all print
 the executor's stats line (jobs, cache hits, retries, wall time).
+``--metrics-db DB`` collects into a sqlite warehouse instead, and
+``--campaign ID`` tags every record so multiple sessions accumulate
+distinguishable history in one store (see ``docs/metrics.md``).
 """
 
 from __future__ import annotations
@@ -112,27 +120,48 @@ def _make_executor(args):
     from repro.core.parallel import FlowExecutor
 
     collector = None
-    if getattr(args, "metrics_out", None):
+    metrics_out = getattr(args, "metrics_out", None)
+    metrics_db = getattr(args, "metrics_db", None)
+    if metrics_out and metrics_db:
+        print("pass --metrics-out (JSONL) or --metrics-db (warehouse), "
+              "not both", file=sys.stderr)
+        raise SystemExit(2)
+    if metrics_out or metrics_db:
         from repro.metrics import MetricsCollector, MetricsServer
 
-        collector = MetricsCollector(
-            MetricsServer(persist_path=args.metrics_out),
-            cross_process=args.workers > 1,
-        )
+        campaign = getattr(args, "campaign", None)
+        if metrics_db:
+            from repro.metrics import SqliteStore
+
+            server = MetricsServer(store=SqliteStore(metrics_db),
+                                   campaign=campaign)
+        else:
+            server = MetricsServer(persist_path=metrics_out,
+                                   campaign=campaign)
+        collector = MetricsCollector(server, cross_process=args.workers > 1)
     return FlowExecutor(n_workers=args.workers, cache=True,
                         cache_dir=args.cache_dir, collector=collector,
                         stage_cache=getattr(args, "stage_cache", False))
 
 
 def _finish_metrics(executor, args) -> None:
-    """Drain and persist the executor's collector, then report it."""
+    """Drain the executor's collector and report what was persisted."""
     if executor.collector is None:
         return
     executor.collector.stop()
     server = executor.collector.server
+    dest = getattr(args, "metrics_db", None) or args.metrics_out
     print(f"metrics: {len(server)} records over {len(server.runs())} runs "
-          f"-> {args.metrics_out}")
-    server.close()
+          f"-> {dest}")
+
+
+def _close_metrics(executor) -> None:
+    """Release collection resources — runs on error paths too, so the
+    drain thread always stops and persistence handles never leak."""
+    if executor.collector is None:
+        return
+    executor.collector.stop()  # idempotent
+    executor.collector.server.close()
 
 
 def _cmd_mab(args) -> int:
@@ -149,13 +178,16 @@ def _cmd_mab(args) -> int:
                              max_area=args.max_area, max_power=args.max_power)
     policy = ThompsonSampling(env.n_arms, seed=args.seed + 1)
     with _make_executor(args) as executor:
-        result = BatchBanditScheduler(args.iterations, args.concurrent,
-                                      executor=executor).run(policy, env)
-        print(f"{result.n_successes}/{len(result.records)} successful runs")
-        best = int(policy.posterior_mean().argmax())
-        print(f"recommended target: {frequencies[best]:.2f} GHz")
-        print(f"executor: {executor.stats.summary()}")
-        _finish_metrics(executor, args)
+        try:
+            result = BatchBanditScheduler(args.iterations, args.concurrent,
+                                          executor=executor).run(policy, env)
+            print(f"{result.n_successes}/{len(result.records)} successful runs")
+            best = int(policy.posterior_mean().argmax())
+            print(f"recommended target: {frequencies[best]:.2f} GHz")
+            print(f"executor: {executor.stats.summary()}")
+            _finish_metrics(executor, args)
+        finally:
+            _close_metrics(executor)
     return 0
 
 
@@ -165,22 +197,25 @@ def _cmd_explore(args) -> int:
 
     spec = design_profile(args.design)
     with _make_executor(args) as executor:
-        explorer = TrajectoryExplorer(
-            n_concurrent=args.concurrent, n_rounds=args.rounds,
-            executor=executor,
-        )
-        result = explorer.explore(spec, seed=args.seed)
-        print(f"{result.n_runs} runs over {args.rounds} rounds "
-              f"({result.n_pruned} pruned, {result.n_failed} failed), "
-              f"best score {result.best_score:.4f}")
-        if result.best_result is not None:
-            best = result.best_result
-            print(f"best: target={best.options.target_clock_ghz:.2f}GHz "
-                  f"util={best.options.utilization:.2f} seed={best.seed} "
-                  f"area={best.area:.1f}um2 wns={best.wns:.1f}ps "
-                  f"{'SUCCESS' if best.success else 'FAILED'}")
-        print(f"executor: {executor.stats.summary()}")
-        _finish_metrics(executor, args)
+        try:
+            explorer = TrajectoryExplorer(
+                n_concurrent=args.concurrent, n_rounds=args.rounds,
+                executor=executor,
+            )
+            result = explorer.explore(spec, seed=args.seed)
+            print(f"{result.n_runs} runs over {args.rounds} rounds "
+                  f"({result.n_pruned} pruned, {result.n_failed} failed), "
+                  f"best score {result.best_score:.4f}")
+            if result.best_result is not None:
+                best = result.best_result
+                print(f"best: target={best.options.target_clock_ghz:.2f}GHz "
+                      f"util={best.options.utilization:.2f} seed={best.seed} "
+                      f"area={best.area:.1f}um2 wns={best.wns:.1f}ps "
+                      f"{'SUCCESS' if best.success else 'FAILED'}")
+            print(f"executor: {executor.stats.summary()}")
+            _finish_metrics(executor, args)
+        finally:
+            _close_metrics(executor)
     return 0 if result.best_result is not None else 1
 
 
@@ -223,90 +258,206 @@ def _cmd_dse(args) -> int:
         params["limit"] = args.limit
     spec = design_profile(args.design)
     with _make_executor(args) as executor:
-        engine = DSEEngine(
-            strategy=args.strategy, objective=args.objective, budget=budget,
-            executor=executor, kill_policy=kill_policy, surrogate=surrogate,
-            params=params,
-        )
-        result = engine.run(spec, seed=args.seed)
-        best = ("n/a" if not math.isfinite(result.best_score)
-                else f"{result.best_score:.4f}")
-        print(f"strategy={args.strategy} objective={args.objective}: "
-              f"{result.n_runs} runs ({result.n_failed} failed, "
-              f"{result.n_killed} killed), best {best}")
-        if result.n_killed:
-            print(f"kill policy ({args.kill}) saved "
-                  f"{result.kill_proxy_saved:.0f} proxy units")
-        if result.surrogate_fit is not None:
-            print(f"surrogate ({args.surrogate}) training fit: "
-                  f"{result.surrogate_fit:.3f}")
-        if result.pareto:
-            print(f"pareto front: {len(result.pareto)} non-dominated runs")
-        if result.best_result is not None:
-            top = result.best_result
-            print(f"best: target={top.options.target_clock_ghz:.2f}GHz "
-                  f"util={top.options.utilization:.2f} seed={top.seed} "
-                  f"area={top.area:.1f}um2 wns={top.wns:.1f}ps "
-                  f"{'SUCCESS' if top.success else 'FAILED'}")
-        print(f"executor: {executor.stats.summary()}")
-        _finish_metrics(executor, args)
+        try:
+            engine = DSEEngine(
+                strategy=args.strategy, objective=args.objective, budget=budget,
+                executor=executor, kill_policy=kill_policy, surrogate=surrogate,
+                params=params,
+            )
+            result = engine.run(spec, seed=args.seed)
+            best = ("n/a" if not math.isfinite(result.best_score)
+                    else f"{result.best_score:.4f}")
+            print(f"strategy={args.strategy} objective={args.objective}: "
+                  f"{result.n_runs} runs ({result.n_failed} failed, "
+                  f"{result.n_killed} killed), best {best}")
+            if result.n_killed:
+                print(f"kill policy ({args.kill}) saved "
+                      f"{result.kill_proxy_saved:.0f} proxy units")
+            if result.surrogate_fit is not None:
+                print(f"surrogate ({args.surrogate}) training fit: "
+                      f"{result.surrogate_fit:.3f}")
+            if result.pareto:
+                print(f"pareto front: {len(result.pareto)} non-dominated runs")
+            if result.best_result is not None:
+                top = result.best_result
+                print(f"best: target={top.options.target_clock_ghz:.2f}GHz "
+                      f"util={top.options.utilization:.2f} seed={top.seed} "
+                      f"area={top.area:.1f}um2 wns={top.wns:.1f}ps "
+                      f"{'SUCCESS' if top.success else 'FAILED'}")
+            print(f"executor: {executor.stats.summary()}")
+            _finish_metrics(executor, args)
+        finally:
+            _close_metrics(executor)
     return 0 if result.n_runs > 0 and result.n_failed < result.n_runs else 1
 
 
 def _cmd_metrics_summary(args) -> int:
-    from repro.metrics import DataMiner, MetricsServer
+    from repro.metrics import DataMiner, MetricsServer, open_store
 
-    server = MetricsServer(persist_path=args.path)
-    if len(server) == 0:
-        print(f"no records in {args.path}")
-        return 1
-    records = server.query(design=args.design)
-    run_ids = server.runs(args.design)
-    designs = sorted({r.design for r in records})
-    print(f"{len(records)} records over {len(run_ids)} runs, "
-          f"designs: {', '.join(designs)}")
-    if server.skipped_lines:
-        print(f"({server.skipped_lines} corrupt line(s) skipped at load)")
-    if server.null_values:
-        print(f"({server.null_values} null value(s) ignored at load)")
-    by_metric = {}
-    dropped = 0
-    for record in records:
-        if not math.isfinite(record.value):
-            dropped += 1  # sentinel, not a measurement: keep stats finite
-            continue
-        by_metric.setdefault(record.metric, []).append(record.value)
-    if dropped:
-        print(f"({dropped} non-finite value(s) excluded from statistics)")
-    print(f"{'metric':<24} {'count':>6} {'mean':>12} {'min':>12} {'max':>12}")
-    for metric in sorted(by_metric):
-        values = by_metric[metric]
-        print(f"{metric:<24} {len(values):>6} {sum(values)/len(values):>12.4f} "
-              f"{min(values):>12.4f} {max(values):>12.4f}")
-    sta_full = sum(by_metric.get("sta.full", []))
-    sta_incr = sum(by_metric.get("sta.incremental.updates", []))
-    if sta_full or sta_incr:
-        saved = sum(by_metric.get("sta.incremental.proxy_saved", []))
-        nodes = sum(by_metric.get("sta.incremental.nodes", []))
-        print(f"timing: {sta_incr:.0f} incremental updates vs {sta_full:.0f} "
-              f"full propagations ({nodes:.0f} nodes re-propagated, "
-              f"{saved:.0f} work units saved)")
-    kills = sum(by_metric.get("exec.killed.run", []))
-    if kills:
-        kill_saved = sum(by_metric.get("exec.killed.proxy_saved", []))
-        print(f"kills: {kills:.0f} runs terminated early by the kill policy "
-              f"({kill_saved:.0f} work units saved)")
-    if args.recommend:
-        try:
-            rec = DataMiner(server, seed=0).recommend_options(
-                objective=args.recommend, design=args.design
-            )
-        except (ValueError, KeyError) as exc:
-            print(f"cannot mine a recommendation: {exc}")
+    campaign = getattr(args, "campaign", None)
+    with MetricsServer(store=open_store(args.path)) as server:
+        if len(server) == 0:
+            print(f"no records in {args.path}")
             return 1
-        settings = " ".join(f"{k}={v:.3f}" for k, v in rec.options.items())
-        print(f"recommendation ({args.recommend}, r2={rec.model_r2:.2f}, "
-              f"predicted {rec.predicted_objective:.2f}): {settings}")
+        records = server.query(design=args.design, campaign=campaign)
+        run_ids = server.runs(args.design, campaign=campaign)
+        designs = sorted({r.design for r in records})
+        print(f"{len(records)} records over {len(run_ids)} runs, "
+              f"designs: {', '.join(designs)}")
+        campaigns = server.campaigns()
+        if campaigns:
+            print(f"campaigns: {', '.join(campaigns)}")
+        if server.skipped_lines:
+            print(f"({server.skipped_lines} corrupt line(s) skipped at load)")
+        if server.null_values:
+            print(f"({server.null_values} null value(s) ignored at load)")
+        by_metric = {}
+        dropped = 0
+        for record in records:
+            if not math.isfinite(record.value):
+                dropped += 1  # sentinel, not a measurement: keep stats finite
+                continue
+            by_metric.setdefault(record.metric, []).append(record.value)
+        if dropped:
+            print(f"({dropped} non-finite value(s) excluded from statistics)")
+        print(f"{'metric':<24} {'count':>6} {'mean':>12} {'min':>12} {'max':>12}")
+        for metric in sorted(by_metric):
+            values = by_metric[metric]
+            print(f"{metric:<24} {len(values):>6} {sum(values)/len(values):>12.4f} "
+                  f"{min(values):>12.4f} {max(values):>12.4f}")
+        sta_full = sum(by_metric.get("sta.full", []))
+        sta_incr = sum(by_metric.get("sta.incremental.updates", []))
+        if sta_full or sta_incr:
+            saved = sum(by_metric.get("sta.incremental.proxy_saved", []))
+            nodes = sum(by_metric.get("sta.incremental.nodes", []))
+            print(f"timing: {sta_incr:.0f} incremental updates vs {sta_full:.0f} "
+                  f"full propagations ({nodes:.0f} nodes re-propagated, "
+                  f"{saved:.0f} work units saved)")
+        kills = sum(by_metric.get("exec.killed.run", []))
+        if kills:
+            kill_saved = sum(by_metric.get("exec.killed.proxy_saved", []))
+            print(f"kills: {kills:.0f} runs terminated early by the kill policy "
+                  f"({kill_saved:.0f} work units saved)")
+        if args.recommend:
+            try:
+                rec = DataMiner(server, seed=0).recommend_options(
+                    objective=args.recommend, design=args.design,
+                    campaign=campaign,
+                )
+            except (ValueError, KeyError) as exc:
+                print(f"cannot mine a recommendation: {exc}")
+                return 1
+            settings = " ".join(f"{k}={v:.3f}" for k, v in rec.options.items())
+            print(f"recommendation ({args.recommend}, r2={rec.model_r2:.2f}, "
+                  f"predicted {rec.predicted_objective:.2f}): {settings}")
+    return 0
+
+
+def _emit_warehouse_op(store, values) -> None:
+    """Record a maintenance operation's bookkeeping in the warehouse
+    itself, so ingest/migration/retention history stays queryable."""
+    from repro.metrics import Transmitter
+
+    run_id = f"warehouse-op-{store.ingest_count}"
+    with Transmitter(store, "warehouse", run_id, tool="warehouse",
+                     use_xml=False) as tx:
+        for name, value in values:
+            tx.send(name, float(value))
+
+
+def _cmd_metrics_ingest(args) -> int:
+    from repro.metrics import SqliteStore
+
+    with SqliteStore(args.db) as store:
+        report = store.receive_jsonl(args.path, campaign=args.campaign)
+        _emit_warehouse_op(store, [
+            ("warehouse.ingest.records", report.records),
+            ("warehouse.ingest.skipped", report.skipped_lines),
+        ])
+        tag = f" under campaign {args.campaign!r}" if args.campaign else ""
+        print(f"ingested {report.records} records from {args.path} "
+              f"into {args.db}{tag} ({report.batches} transactions, "
+              f"{report.null_values} null values, "
+              f"{report.skipped_lines} corrupt lines skipped)")
+    return 0
+
+
+def _cmd_metrics_migrate(args) -> int:
+    from repro.metrics import JsonlStore, SqliteStore, migrate_jsonl
+
+    with SqliteStore(args.db) as store:
+        report = migrate_jsonl(args.path, store)
+        # zero-loss verification: reload the source the hardened JSONL
+        # way and compare record count plus every per-run vector
+        with JsonlStore(args.path) as source:
+            failures = []
+            if len(source) != report.records:
+                failures.append(
+                    f"record count mismatch: source has {len(source)}, "
+                    f"migrated {report.records}")
+            for run_id in source.runs():
+                if source.run_vector(run_id) != store.run_vector(run_id):
+                    failures.append(f"run vector mismatch for {run_id}")
+        _emit_warehouse_op(store, [
+            ("warehouse.migrate.records", report.records),
+            ("warehouse.migrate.skipped", report.skipped_lines),
+        ])
+        print(f"migrated {report.records} records from {args.path} "
+              f"into {args.db} ({report.null_values} null values, "
+              f"{report.skipped_lines} corrupt lines skipped)")
+        if failures:
+            for failure in failures:
+                print(f"VERIFY FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"verified: {len(source.runs())} run vectors identical "
+              f"between source and warehouse")
+    return 0
+
+
+def _cmd_metrics_query(args) -> int:
+    from repro.metrics import MetricsServer, open_store
+
+    with MetricsServer(store=open_store(args.path)) as server:
+        if args.metric or args.run:
+            records = server.query(design=args.design, metric=args.metric,
+                                   run_id=args.run, campaign=args.campaign,
+                                   since=args.since)
+            for record in records[:args.limit]:
+                campaign = (record.attributes or {}).get("campaign", "-")
+                print(f"{record.design} {record.run_id} {record.tool} "
+                      f"{record.metric}={record.value:g} "
+                      f"seq={record.sequence} campaign={campaign}")
+            if len(records) > args.limit:
+                print(f"... {len(records) - args.limit} more "
+                      f"(raise --limit to see them)")
+            return 0 if records else 1
+        run_ids = server.runs(args.design, campaign=args.campaign,
+                              since=args.since)
+        for run_id in run_ids[:args.limit]:
+            vector = server.run_vector(run_id)
+            design = next(iter(
+                r.design for r in server.query(run_id=run_id)), "?")
+            print(f"{run_id} design={design} metrics={len(vector)}")
+        if len(run_ids) > args.limit:
+            print(f"... {len(run_ids) - args.limit} more "
+                  f"(raise --limit to see them)")
+        return 0 if run_ids else 1
+
+
+def _cmd_metrics_compact(args) -> int:
+    from repro.metrics import SqliteStore
+
+    with SqliteStore(args.db) as store:
+        before = store.campaigns()
+        removed = store.compact(args.keep_last, vacuum=not args.no_vacuum)
+        kept = store.campaigns()
+        _emit_warehouse_op(store, [
+            ("warehouse.compact.removed", removed),
+            ("warehouse.compact.campaigns_kept", len(kept)),
+        ])
+        print(f"compacted {args.db}: removed {removed} records from "
+              f"{len(before) - len(kept)} campaign(s), kept "
+              f"{', '.join(kept) if kept else 'none'}")
     return 0
 
 
@@ -458,6 +609,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for the on-disk result-cache tier")
     mab.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="collect METRICS records from every run into this JSONL file")
+    mab.add_argument("--metrics-db", default=None, metavar="DB",
+                     help="collect METRICS records into this sqlite warehouse "
+                          "(cross-campaign history; mutually exclusive with "
+                          "--metrics-out)")
+    mab.add_argument("--campaign", default=None,
+                     help="campaign id stamped onto every collected record")
     mab.add_argument("--stage-cache", action="store_true",
                      help="enable the stage-prefix cache (resume flow jobs "
                           "from the deepest cached pipeline prefix)")
@@ -476,6 +633,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for the on-disk result-cache tier")
     explore.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="collect METRICS records from every run into this JSONL file")
+    explore.add_argument("--metrics-db", default=None, metavar="DB",
+                         help="collect METRICS records into this sqlite "
+                              "warehouse (cross-campaign history; mutually "
+                              "exclusive with --metrics-out)")
+    explore.add_argument("--campaign", default=None,
+                         help="campaign id stamped onto every collected record")
     explore.add_argument("--stage-cache", action="store_true",
                          help="enable the stage-prefix cache (resume flow jobs "
                               "from the deepest cached pipeline prefix)")
@@ -519,6 +682,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for the on-disk result-cache tier")
     dse.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="collect METRICS records from every run into this JSONL file")
+    dse.add_argument("--metrics-db", default=None, metavar="DB",
+                     help="collect METRICS records into this sqlite warehouse "
+                          "(cross-campaign history; mutually exclusive with "
+                          "--metrics-out)")
+    dse.add_argument("--campaign", default=None,
+                     help="campaign id stamped onto every collected record")
     dse.add_argument("--stage-cache", action="store_true",
                      help="enable the stage-prefix cache (resume flow jobs "
                           "from the deepest cached pipeline prefix)")
@@ -527,15 +696,71 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser("metrics", help="inspect collected METRICS data")
     metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
     summary = metrics_sub.add_parser(
-        "summary", help="summarize a METRICS JSONL file (runs, metrics, miner)"
+        "summary", help="summarize a METRICS store (runs, metrics, miner); "
+                        "accepts JSONL files and sqlite warehouses"
     )
     summary.add_argument("--in", dest="path", required=True, metavar="FILE",
-                         help="JSONL file written by --metrics-out / MetricsServer")
+                         help="JSONL file or sqlite warehouse (format sniffed)")
     summary.add_argument("--design", default=None,
                          help="restrict to one design")
+    summary.add_argument("--campaign", default=None,
+                         help="restrict to one campaign id")
     summary.add_argument("--recommend", default=None, metavar="OBJECTIVE",
                          help="also mine an option recommendation for this objective")
     summary.set_defaults(func=_cmd_metrics_summary)
+
+    ingest = metrics_sub.add_parser(
+        "ingest", help="append a JSONL metrics file into a sqlite warehouse, "
+                       "optionally stamping a campaign id"
+    )
+    ingest.add_argument("--db", required=True, metavar="DB",
+                        help="sqlite warehouse (created if missing)")
+    ingest.add_argument("--in", dest="path", required=True, metavar="FILE",
+                        help="JSONL source written by --metrics-out")
+    ingest.add_argument("--campaign", default=None,
+                        help="campaign id stamped onto untagged records")
+    ingest.set_defaults(func=_cmd_metrics_ingest)
+
+    migrate = metrics_sub.add_parser(
+        "migrate", help="convert a JSONL metrics file into a sqlite "
+                        "warehouse, verifying zero record loss"
+    )
+    migrate.add_argument("--in", dest="path", required=True, metavar="FILE",
+                         help="JSONL source written by --metrics-out")
+    migrate.add_argument("--db", required=True, metavar="DB",
+                         help="sqlite warehouse (created if missing)")
+    migrate.set_defaults(func=_cmd_metrics_migrate)
+
+    query = metrics_sub.add_parser(
+        "query", help="list runs or records from a metrics store"
+    )
+    query.add_argument("--in", dest="path", required=True, metavar="FILE",
+                       help="JSONL file or sqlite warehouse (format sniffed)")
+    query.add_argument("--design", default=None,
+                       help="restrict to one design")
+    query.add_argument("--campaign", default=None,
+                       help="restrict to one campaign id")
+    query.add_argument("--metric", default=None,
+                       help="print matching records of this metric")
+    query.add_argument("--run", default=None, metavar="RUN_ID",
+                       help="print records of one run")
+    query.add_argument("--since", type=int, default=None, metavar="N",
+                       help="only runs first seen at/after this ingest index")
+    query.add_argument("--limit", type=int, default=50,
+                       help="maximum rows printed (default 50)")
+    query.set_defaults(func=_cmd_metrics_query)
+
+    compact = metrics_sub.add_parser(
+        "compact", help="retention: drop all but the most recent campaigns "
+                        "from a sqlite warehouse"
+    )
+    compact.add_argument("--db", required=True, metavar="DB",
+                         help="sqlite warehouse to compact")
+    compact.add_argument("--keep-last", type=int, required=True, metavar="N",
+                         help="number of most-recent campaigns to keep")
+    compact.add_argument("--no-vacuum", action="store_true",
+                         help="skip the VACUUM after deletion")
+    compact.set_defaults(func=_cmd_metrics_compact)
 
     cache = sub.add_parser("cache", help="inspect flow-result cache directories")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -19,8 +19,10 @@ from repro.core.doomed.evaluate import (
 )
 from repro.core.doomed.hmm_predictor import HMMDoomPredictor
 from repro.core.doomed.logistic_baseline import LogisticDoomBaseline
+from repro.core.doomed.warehouse import router_logs_from_store
 
 __all__ = [
+    "router_logs_from_store",
     "LogisticDoomBaseline",
     "StateSpace",
     "bin_violations",

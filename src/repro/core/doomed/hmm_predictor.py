@@ -44,6 +44,15 @@ class HMMDoomPredictor:
     def _symbols(self, drvs) -> List[int]:
         return [bin_violations(v, self.n_bins) for v in drvs]
 
+    def fit_from_store(self, store, design=None, campaign=None,
+                       since=None) -> "HMMDoomPredictor":
+        """Fit from DRV trajectories persisted in a metrics store —
+        the full archive by default, or one design/campaign slice."""
+        from repro.core.doomed.warehouse import router_logs_from_store
+
+        return self.fit(router_logs_from_store(
+            store, design=design, campaign=campaign, since=since))
+
     def fit(self, logs: Iterable[RouterLog]) -> "HMMDoomPredictor":
         good = []
         bad = []

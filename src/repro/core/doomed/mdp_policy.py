@@ -46,6 +46,15 @@ class MDPCardLearner:
     gamma: float = 0.99
     fill_in: bool = True
 
+    def fit_from_store(self, store, design=None, campaign=None,
+                       since=None) -> StrategyCard:
+        """Fit from DRV trajectories persisted in a metrics store —
+        the full archive by default, or one design/campaign slice."""
+        from repro.core.doomed.warehouse import router_logs_from_store
+
+        return self.fit(router_logs_from_store(
+            store, design=design, campaign=campaign, since=since))
+
     def fit(self, logs: Iterable[RouterLog]) -> StrategyCard:
         n_grid = self.space.n_states
         success_state = n_grid

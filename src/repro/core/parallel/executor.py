@@ -229,6 +229,10 @@ class FlowExecutor:
         (:func:`~repro.metrics.make_run_id`), so identical jobs share
         one id and distinct jobs never collide across workers.  With
         ``n_workers > 1`` the collector must be ``cross_process=True``.
+        When the collector's server carries a campaign id, every record
+        this executor produces — worker-side step metrics and the
+        coordinator-side event records alike — is stamped with it on
+        ingest, so multi-session warehouses stay sliceable by campaign.
     stage_cache:
         enable the stage-prefix cache: jobs run through the staged
         pipeline and resume from the deepest cached prefix snapshot,

@@ -67,7 +67,12 @@ class DSEContext:
     @property
     def server(self):
         """The live MetricsServer behind the executor's collector, when
-        one is collecting (surrogate training data source)."""
+        one is collecting (surrogate training data source).  A
+        warehouse-backed server exposes *all* persisted campaigns, so a
+        surrogate refit mid-campaign trains on the full archive, not
+        just this session's runs; use
+        :meth:`~repro.dse.surrogate.SurrogateProposer.fit_from_store`
+        to pre-train before the first round."""
         collector = getattr(self.executor, "collector", None)
         return None if collector is None else getattr(collector, "server", None)
 

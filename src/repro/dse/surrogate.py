@@ -101,9 +101,15 @@ class SurrogateProposer:
             self._X.append([float(f) for f in features])
             self._y.append(float(key))
 
-    def _server_rows(self, server, objective_name: str, design=None):
+    def _server_rows(self, server, objective_name: str, design=None,
+                     campaign=None, since=None):
+        kwargs = {}
+        if campaign is not None:
+            kwargs["campaign"] = campaign
+        if since is not None:
+            kwargs["since"] = since
         X, y = [], []
-        for run_id in server.runs(design):
+        for run_id in server.runs(design, **kwargs):
             vector = server.run_vector(run_id)
             if any(metric not in vector for metric, _ in FEATURE_METRICS):
                 continue
@@ -123,6 +129,21 @@ class SurrogateProposer:
                 X, y = self._X, self._y
         else:
             X, y = self._X, self._y
+        return self._fit_rows_if_fresh(X, y)
+
+    def fit_from_store(self, store, objective_name: str = "score",
+                       design=None, campaign=None, since=None) -> bool:
+        """Train on the full archive of a metrics store (all campaigns
+        by default, or one design/campaign/since slice); returns True
+        when a model was fitted.  Unlike :meth:`maybe_fit` there is no
+        in-memory fallback — the warehouse is the corpus."""
+        X, y = self._server_rows(store, objective_name, design,
+                                 campaign=campaign, since=since)
+        if len(X) < self.min_fit:
+            return False
+        return self._fit_rows_if_fresh(X, y)
+
+    def _fit_rows_if_fresh(self, X, y) -> bool:
         if len(X) < self.min_fit or len(X) == self._fit_rows:
             return False
         if self.model_kind == "forest":

@@ -17,7 +17,16 @@ from repro.metrics.schema import (
     EXECUTOR_EVENT_METRICS,
     MetricRecord,
     VOCABULARY,
+    WAREHOUSE_METRICS,
     validate_metric_name,
+)
+from repro.metrics.store import (
+    JsonlStore,
+    MetricsStore,
+    MigrationReport,
+    SqliteStore,
+    migrate_jsonl,
+    open_store,
 )
 from repro.metrics.transmitter import Transmitter
 from repro.metrics.server import MetricsServer
@@ -30,7 +39,14 @@ __all__ = [
     "EXECUTOR_EVENT_METRICS",
     "MetricRecord",
     "VOCABULARY",
+    "WAREHOUSE_METRICS",
     "validate_metric_name",
+    "MetricsStore",
+    "JsonlStore",
+    "SqliteStore",
+    "MigrationReport",
+    "migrate_jsonl",
+    "open_store",
     "Transmitter",
     "MetricsServer",
     "MetricsCollector",

@@ -25,6 +25,7 @@ import queue as queue_module
 import threading
 from typing import Optional
 
+from repro.metrics.schema import MetricRecord
 from repro.metrics.server import MetricsServer
 from repro.metrics.transmitter import Transmitter
 from repro.metrics.wrappers import report_flow_metrics
@@ -74,6 +75,17 @@ class MetricsCollector:
         so pool workers can transmit into it; False uses a plain
         ``queue.Queue`` — cheaper, but only valid for in-process
         (``n_workers=1``) execution.
+    campaign:
+        campaign id for a server created by this collector; every
+        untagged record ingested during the session is stamped with it
+        (ignored when an explicit ``server`` is passed — configure the
+        campaign on that server instead).
+    batch_size:
+        how many queued records the drain thread hands the server per
+        ingest call.  Batches become single transactions on a
+        warehouse-backed server, which is what makes sqlite ingest keep
+        up with a process pool; correctness does not depend on the
+        value.
 
     Use as a context manager, or call :meth:`start`/:meth:`stop`
     explicitly.  :meth:`flush` blocks until every record put so far has
@@ -85,11 +97,17 @@ class MetricsCollector:
         server: Optional[MetricsServer] = None,
         cross_process: bool = True,
         persist_path: Optional[str] = None,
+        campaign: Optional[str] = None,
+        batch_size: int = 64,
     ):
         if server is not None and persist_path is not None:
             raise ValueError("pass persist_path only without an explicit server")
-        self.server = server if server is not None else MetricsServer(persist_path)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.server = (server if server is not None
+                       else MetricsServer(persist_path, campaign=campaign))
         self.cross_process = cross_process
+        self.batch_size = batch_size
         self._manager = None
         self._queue = None
         self._thread: Optional[threading.Thread] = None
@@ -152,17 +170,39 @@ class MetricsCollector:
 
     # ------------------------------------------------------------ internals
     def _drain(self) -> None:
+        """Drain loop: block for one item, opportunistically gather the
+        rest of a batch, decode, and hand the server the whole batch in
+        one ``receive_many`` call (one warehouse transaction)."""
         while True:
-            item = self._queue.get()
-            try:
+            batch = [self._queue.get()]
+            while len(batch) < self.batch_size:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue_module.Empty:
+                    break
+                except Exception:  # noqa: BLE001 - manager proxy hiccup
+                    break
+            stop = False
+            records = []
+            for item in batch:
                 if item is None:
-                    return
-                self.server.receive_xml(item)
-                self.received += 1
-            except Exception:  # noqa: BLE001 - a bad record must not kill the drain
-                self.dropped += 1
+                    stop = True  # drain sentinel (finish this batch first)
+                    continue
+                try:
+                    records.append(MetricRecord.from_xml(item))
+                except Exception:  # noqa: BLE001 - a bad record must not kill the drain
+                    self.dropped += 1
+            try:
+                if records:
+                    self.server.receive_many(records)
+                    self.received += len(records)
+            except Exception:  # noqa: BLE001
+                self.dropped += len(records)
             finally:
-                self._queue.task_done()
+                for _ in batch:
+                    self._queue.task_done()
+            if stop:
+                return
 
 
 def run_instrumented_flow_job(queue, run_id, flow_fn, design, options, seed,

@@ -83,9 +83,18 @@ class AdaptiveFlowSession:
         executor carries a :class:`~repro.metrics.MetricsCollector`, it
         must feed this session's server (worker-side reporting); bare
         executors are reported coordinator-side instead.
+
+        When the session's server is warehouse-backed and already holds
+        prior runs of this design (earlier campaigns), those runs count
+        toward the miner's minimum — a session resuming over history may
+        seed with fewer (even zero) fresh exploratory runs.
         """
-        if n_seed < 8:
-            raise ValueError("need at least 8 seed runs for the miner")
+        prior_runs = len(self._prior_design_runs())
+        if n_seed + prior_runs < 8:
+            raise ValueError(
+                "need at least 8 seed runs for the miner "
+                f"(warehouse holds {prior_runs} prior runs of this design)"
+            )
         if (executor is not None and executor.collector is not None
                 and executor.collector.server is not self.server):
             raise ValueError(
@@ -130,6 +139,14 @@ class AdaptiveFlowSession:
         return self.best_result()
 
     # ------------------------------------------------------------------
+    def _prior_design_runs(self) -> List[str]:
+        """Run ids of this design already in the server's store — history
+        from earlier campaigns when the store is a warehouse."""
+        try:
+            return self.server.runs(self.spec.name)
+        except Exception:  # noqa: BLE001 - a cold/empty store has no history
+            return []
+
     def _run_points(self, points, flow, executor) -> None:
         """Execute (options, seed) points and record results + run ids."""
         if executor is None:

@@ -44,26 +44,34 @@ class OptionRecommendation:
 
 
 class DataMiner:
-    """Learns QoR models from collected runs and answers flow questions."""
+    """Learns QoR models from collected runs and answers flow questions.
+
+    ``server`` is anything that answers the store query API — a live
+    :class:`MetricsServer` or a warehouse backend
+    (:class:`~repro.metrics.store.SqliteStore`) opened directly, so the
+    miner can work over *all* prior campaigns, not just this session's.
+    ``campaign=`` on the analysis methods narrows any query to one
+    campaign; the default mines full history."""
 
     def __init__(self, server: MetricsServer, seed: Optional[int] = None):
         self.server = server
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def _table(self, design: Optional[str]):
-        run_ids, names, matrix = self.server.table(design)
+    def _table(self, design: Optional[str], campaign: Optional[str] = None):
+        run_ids, names, matrix = self.server.table(design, campaign=campaign)
         index = {name: i for i, name in enumerate(names)}
         return run_ids, names, matrix, index
 
     def sensitivity(
-        self, objective: str = "flow.area", design: Optional[str] = None
+        self, objective: str = "flow.area", design: Optional[str] = None,
+        campaign: Optional[str] = None,
     ) -> Dict[str, float]:
         """|correlation| of each option metric with the objective.
 
         The simple screen the original METRICS ran: which knobs move
         this design's QoR at all?"""
-        _, names, matrix, index = self._table(design)
+        _, names, matrix, index = self._table(design, campaign)
         if objective not in index:
             raise KeyError(f"objective {objective!r} not collected")
         y = matrix[:, index[objective]]
@@ -86,6 +94,7 @@ class DataMiner:
         design: Optional[str] = None,
         require_success: bool = True,
         n_candidates: int = 400,
+        campaign: Optional[str] = None,
     ) -> OptionRecommendation:
         """Best option settings for an objective, from a learned model.
 
@@ -93,7 +102,7 @@ class DataMiner:
         then searches candidate settings drawn from the observed option
         ranges.  ``require_success`` also fits a success model and
         rejects candidates predicted to fail."""
-        run_ids, names, matrix, index = self._table(design)
+        run_ids, names, matrix, index = self._table(design, campaign)
         present = [o for o in OPTION_METRICS if o in index]
         if not present:
             raise ValueError("no option metrics collected")
@@ -139,6 +148,7 @@ class DataMiner:
         objective: str = "flow.area",
         design: Optional[str] = None,
         z_threshold: float = 3.0,
+        campaign: Optional[str] = None,
     ) -> Dict[str, float]:
         """Runs whose objective deviates wildly from the learned model.
 
@@ -149,7 +159,7 @@ class DataMiner:
         """
         if z_threshold <= 0:
             raise ValueError("z_threshold must be positive")
-        run_ids, names, matrix, index = self._table(design)
+        run_ids, names, matrix, index = self._table(design, campaign)
         present = [o for o in OPTION_METRICS if o in index]
         if objective not in index or len(present) < 1:
             raise ValueError("server lacks the metrics needed for anomaly analysis")

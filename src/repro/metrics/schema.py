@@ -91,6 +91,19 @@ VOCABULARY: Dict[str, tuple] = {
     "dse.runtime_proxy": ("work", "summed tool cost of the campaign's delivered results"),
     "dse.best_score": ("objective", "best objective value the campaign found"),
     "dse.surrogate_fit": ("ratio", "training fit of the campaign's last surrogate refit"),
+    # router convergence trajectory: one record per rip-up-and-reroute
+    # iteration (sequence = iteration index), so the doomed-run
+    # predictors can rebuild their training corpora from the warehouse
+    "droute.drv_trajectory": ("count", "DRVs remaining after each reroute iteration"),
+    # warehouse events: the CLI's ingest/migrate/compact operations
+    # report their own bookkeeping as first-class records so warehouse
+    # maintenance history is itself queryable
+    "warehouse.ingest.records": ("count", "records stored by an ingest operation"),
+    "warehouse.ingest.skipped": ("count", "corrupt source lines skipped by an ingest"),
+    "warehouse.migrate.records": ("count", "records converted by a JSONL migration"),
+    "warehouse.migrate.skipped": ("count", "corrupt source lines skipped by a migration"),
+    "warehouse.compact.removed": ("count", "records deleted by retention compaction"),
+    "warehouse.compact.campaigns_kept": ("count", "campaigns surviving retention compaction"),
 }
 
 #: the executor-event subset of the vocabulary, emitted per job by an
@@ -127,6 +140,17 @@ DSE_CAMPAIGN_METRICS = (
     "dse.runtime_proxy",
     "dse.best_score",
     "dse.surrogate_fit",
+)
+
+#: the warehouse-maintenance subset of the vocabulary, emitted by the
+#: CLI's ``repro metrics ingest|migrate|compact`` operations
+WAREHOUSE_METRICS = (
+    "warehouse.ingest.records",
+    "warehouse.ingest.skipped",
+    "warehouse.migrate.records",
+    "warehouse.migrate.skipped",
+    "warehouse.compact.removed",
+    "warehouse.compact.campaigns_kept",
 )
 
 # one or more dot-separated lowercase segments after the first —

@@ -1,78 +1,112 @@
 """The METRICS server: central collection and query.
 
-In-memory store with optional JSON-lines persistence — "reimplementing
-METRICS with today's commodity networking, database and cloud
-technologies will be much simpler compared to the initial
-implementation" (the original used Enterprise Java Beans and servlets;
-a dictionary and a flat file suffice here).
+"Reimplementing METRICS with today's commodity networking, database and
+cloud technologies will be much simpler compared to the initial
+implementation" (the original used Enterprise Java Beans and servlets).
+Here the server is a thin thread-safe façade over a pluggable
+:class:`~repro.metrics.store.MetricsStore` backend:
 
-Persistence is hardened for parallel campaigns: each record is one
-line appended with a single unbuffered ``O_APPEND`` write (atomic at
-line granularity, so concurrent writer processes interleave whole
-lines), ``receive`` is thread-safe (the collector's drain thread and
-direct transmitters may share one server), and reloading skips torn or
-corrupt lines left by a killed writer instead of refusing the file.
+- :class:`~repro.metrics.store.JsonlStore` (the default) — in-memory
+  indexes plus optional hardened JSONL persistence, exactly the
+  behavior this class used to implement inline;
+- :class:`~repro.metrics.store.SqliteStore` — the multi-campaign
+  warehouse (WAL concurrent writers, batched ingest, retention,
+  cross-campaign queries).
+
+The server's own responsibilities are collection-side: thread-safe
+``receive`` (the collector's drain thread and direct transmitters may
+share one server), XML decode, and stamping every untagged record with
+the session's campaign id so history stays sliceable after the fact.
+All queries delegate to the store.
 """
 
 from __future__ import annotations
 
-import json
-import math
 import threading
-from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.metrics.schema import MetricRecord
+from repro.metrics.store import JsonlStore, MetricsStore, stamp_campaign
 
 
 class MetricsServer:
-    """Collects :class:`MetricRecord` streams and answers queries."""
+    """Collects :class:`MetricRecord` streams and answers queries.
 
-    def __init__(self, persist_path: Optional[str] = None):
-        self._records: List[MetricRecord] = []
-        self._by_run: Dict[str, List[MetricRecord]] = {}
+    ``persist_path`` keeps the historical convenience constructor (a
+    JSONL-backed store); pass ``store=`` to mount any backend instead.
+    With ``campaign=``, every record that is not already tagged gets
+    ``attributes["campaign"] = campaign`` on ingest — the wire format
+    and the JSONL line format are unchanged, so files written by older
+    sessions load as before (their records simply have no campaign).
+    """
+
+    def __init__(self, persist_path: Optional[str] = None,
+                 store: Optional[MetricsStore] = None,
+                 campaign: Optional[str] = None):
+        if store is not None and persist_path is not None:
+            raise ValueError("pass persist_path or store, not both")
+        self._store = store if store is not None else JsonlStore(persist_path)
         self._lock = threading.Lock()
-        self._persist_fh = None
-        self.persist_path = Path(persist_path) if persist_path else None
-        self.skipped_lines = 0  # corrupt/torn lines ignored at load
-        self.null_values = 0  # non-finite values persisted as null
-        if self.persist_path and self.persist_path.exists():
-            self._load()
+        self.campaign = campaign
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._store)
+
+    @property
+    def store(self) -> MetricsStore:
+        """The mounted backend (for store-specific operations)."""
+        return self._store
+
+    @property
+    def persist_path(self):
+        return getattr(self._store, "persist_path", None)
+
+    @property
+    def skipped_lines(self) -> int:
+        return self._store.skipped_lines
+
+    @property
+    def null_values(self) -> int:
+        return self._store.null_values
 
     # ------------------------------------------------------------------
+    def _stamp(self, record: MetricRecord) -> MetricRecord:
+        if self.campaign is None:
+            return record
+        return stamp_campaign(record, self.campaign)
+
     def receive(self, record: MetricRecord) -> None:
         """Ingest one record (transmitters call this).  Thread-safe."""
         with self._lock:
-            self._records.append(record)
-            self._by_run.setdefault(record.run_id, []).append(record)
-            if self.persist_path:
-                self._append(record)
+            self._store.receive(self._stamp(record))
+
+    def receive_many(self, records: Sequence[MetricRecord]) -> int:
+        """Batched ingest — one store transaction for the whole batch
+        (the collector's drain thread hands over everything queued)."""
+        with self._lock:
+            return self._store.ingest([self._stamp(r) for r in records])
 
     def receive_xml(self, xml_text: str) -> None:
         self.receive(MetricRecord.from_xml(xml_text))
 
     def close(self) -> None:
-        """Release the persistence file handle (safe to call twice)."""
+        """Release the backend (safe to call twice)."""
         with self._lock:
-            if self._persist_fh is not None:
-                self._persist_fh.close()
-                self._persist_fh = None
+            self._store.close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
-    def runs(self, design: Optional[str] = None) -> List[str]:
-        """Run ids in sorted order, optionally restricted to one design.
-
-        Both paths sort, so the ordering (and hence :meth:`table` row
-        order) is deterministic regardless of the arrival order of
-        records from parallel workers."""
-        if design is None:
-            return sorted(self._by_run)
-        return sorted(
-            {r.run_id for r in self._records if r.design == design}
-        )
+    def runs(self, design: Optional[str] = None,
+             campaign: Optional[str] = None,
+             since: Optional[int] = None) -> List[str]:
+        """Run ids in sorted order, optionally restricted to one design,
+        one campaign and/or runs first seen at/after ``since``."""
+        return self._store.runs(design, campaign=campaign, since=since)
 
     def query(
         self,
@@ -80,102 +114,37 @@ class MetricsServer:
         tool: Optional[str] = None,
         metric: Optional[str] = None,
         run_id: Optional[str] = None,
+        campaign: Optional[str] = None,
+        since: Optional[int] = None,
     ) -> List[MetricRecord]:
-        if run_id is not None:
-            out = self._by_run.get(run_id, [])  # unknown run -> no records
-        else:
-            out = self._records
-        return [
-            r
-            for r in out
-            if (design is None or r.design == design)
-            and (tool is None or r.tool == tool)
-            and (metric is None or r.metric == metric)
-        ]
+        return self._store.query(design, tool, metric, run_id,
+                                 campaign=campaign, since=since)
 
     def run_vector(self, run_id: str) -> Dict[str, float]:
         """All metrics of one run as a flat {metric: value} mapping.
 
         When a metric is reported more than once in a run, the last
         report wins (tools overwrite as they refine)."""
-        records = self._by_run.get(run_id)
-        if not records:
-            raise KeyError(f"unknown run {run_id!r}")
-        out: Dict[str, float] = {}
-        for record in sorted(records, key=lambda r: r.sequence):
-            out[record.metric] = record.value
-        return out
+        return self._store.run_vector(run_id)
 
-    def table(self, design: Optional[str] = None):
+    def series(self, run_id: str, metric: str) -> List[float]:
+        return self._store.series(run_id, metric)
+
+    def campaigns(self) -> List[str]:
+        return self._store.campaigns()
+
+    def table(self, design: Optional[str] = None,
+              campaign: Optional[str] = None,
+              since: Optional[int] = None):
         """(run_ids, metric_names, matrix) over complete runs.
 
         Only metrics present in every selected run are kept, so the
         matrix is dense — what the data miner consumes."""
-        import numpy as np
+        return self._store.table(design, campaign=campaign, since=since)
 
-        run_ids = self.runs(design)
-        if not run_ids:
-            raise ValueError("no runs collected")
-        vectors = [self.run_vector(r) for r in run_ids]
-        common = set(vectors[0])
-        for vec in vectors[1:]:
-            common &= set(vec)
-        names = sorted(common)
-        matrix = np.array([[vec[m] for m in names] for vec in vectors])
-        return run_ids, names, matrix
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _encode(record: MetricRecord) -> dict:
-        return {
-            "design": record.design,
-            "run_id": record.run_id,
-            "tool": record.tool,
-            "metric": record.metric,
-            "value": record.value,
-            "sequence": record.sequence,
-            "attributes": record.attributes,
-        }
-
-    def _append(self, record: MetricRecord) -> None:
-        # unbuffered binary append: one write() call per line on an
-        # O_APPEND descriptor, so concurrent writers never tear a line
-        if self._persist_fh is None:
-            self._persist_fh = open(self.persist_path, "ab", buffering=0)
-        payload = self._encode(record)
-        # strict JSON has no Infinity/NaN literal — a plain dumps would
-        # emit python-only tokens that any conforming reader rejects.
-        # Persist non-finite measurements as null ("no value") and keep
-        # allow_nan=False so no such token can ever slip into the file.
-        if not math.isfinite(payload["value"]):
-            payload["value"] = None
-        line = json.dumps(payload, allow_nan=False) + "\n"
-        self._persist_fh.write(line.encode())
-
-    def _load(self) -> None:
-        with self.persist_path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                    if data["value"] is None:
-                        # a non-finite measurement persisted as null:
-                        # "no value", so there is no record to rebuild
-                        self.null_values += 1
-                        continue
-                    record = MetricRecord(
-                        design=data["design"],
-                        run_id=data["run_id"],
-                        tool=data["tool"],
-                        metric=data["metric"],
-                        value=data["value"],
-                        sequence=data.get("sequence", 0),
-                        attributes=data.get("attributes"),
-                    )
-                except (ValueError, KeyError, TypeError):
-                    self.skipped_lines += 1  # torn line from a killed writer
-                    continue
-                self._records.append(record)
-                self._by_run.setdefault(record.run_id, []).append(record)
+    def run_vectors_matrix(self, metrics: Sequence[str],
+                           design: Optional[str] = None,
+                           campaign: Optional[str] = None,
+                           since: Optional[int] = None):
+        return self._store.run_vectors_matrix(
+            metrics, design=design, campaign=campaign, since=since)

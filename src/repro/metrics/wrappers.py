@@ -28,6 +28,7 @@ from repro.metrics.schema import (
     DSE_CAMPAIGN_METRICS,
     EXECUTOR_EVENT_METRICS,
     VOCABULARY,
+    WAREHOUSE_METRICS,
 )
 from repro.metrics.server import MetricsServer
 from repro.metrics.transmitter import Transmitter
@@ -105,6 +106,13 @@ def report_flow_metrics(tx: Transmitter, result: FlowResult) -> None:
             vocab_name = _STEP_METRICS.get((log.step, key))
             if vocab_name is not None and math.isfinite(value):
                 tx.send(vocab_name, value)
+        # the router's convergence trajectory: one record per reroute
+        # iteration, in transmission order, so warehouse consumers (the
+        # doomed-run predictors) can rebuild per-run DRV curves with
+        # server.series(run_id, "droute.drv_trajectory")
+        for drvs in log.series.get("drvs", ()) if log.step == "droute" else ():
+            if math.isfinite(drvs):
+                tx.send("droute.drv_trajectory", drvs)
     # sizing work is split across several counters in the log
     opt_logs = [log for log in result.logs if log.step == "opt"]
     if opt_logs:
@@ -159,8 +167,9 @@ def coverage() -> float:
     produced = set(_STEP_METRICS.values()) | set(_OPTION_METRICS.values())
     produced |= {
         "opt.sizing_ops", "flow.area", "flow.achieved_ghz", "flow.runtime",
-        "flow.success", "flow.target_ghz",
+        "flow.success", "flow.target_ghz", "droute.drv_trajectory",
     }
     produced |= set(EXECUTOR_EVENT_METRICS)
     produced |= set(DSE_CAMPAIGN_METRICS)
+    produced |= set(WAREHOUSE_METRICS)
     return len(produced & set(VOCABULARY)) / len(VOCABULARY)
